@@ -1,0 +1,31 @@
+"""Figure 5 — P3GM accuracy on simulated MNIST as the PCA dimension d_p varies.
+
+Expected shape (paper): accuracy is poor for very small d_p (not enough
+expressive power), peaks in an intermediate range (the paper finds
+d_p in [10, 100]), and degrades for very large d_p where DP-EM suffers from
+the curse of dimensionality.
+"""
+
+from conftest import profile_value, run_once
+
+from repro.evaluation import format_rows, run_fig5_dimension_sweep
+
+
+def test_fig5_dimension_sweep(benchmark, record_result):
+    dimensions = profile_value((2, 10, 40), (2, 5, 10, 30, 100, 300))
+    rows = run_once(
+        benchmark,
+        run_fig5_dimension_sweep,
+        dimensions=dimensions,
+        n_samples=profile_value(1000, 8000),
+        scale=profile_value("small", "paper"),
+        epsilon=1.0,
+        random_state=0,
+    )
+    text = format_rows(rows, title="Figure 5: P3GM accuracy vs PCA dimension d_p (simulated MNIST)")
+    record_result("fig5_dimension_sweep", text)
+
+    accuracy = {row["dp"]: row["accuracy"] for row in rows}
+    dims = sorted(accuracy)
+    # The intermediate dimension should not be worse than the tiny one.
+    assert accuracy[dims[1]] >= accuracy[dims[0]] - 0.05

@@ -1,0 +1,11 @@
+"""Table I — capability matrix of the compared synthesizers."""
+
+from conftest import run_once
+
+from repro.models import capability_table
+
+
+def test_table1_capability_matrix(benchmark, record_result):
+    text = run_once(benchmark, capability_table)
+    record_result("table1_capabilities", "Table I: capability matrix\n" + text)
+    assert "P3GM" in text

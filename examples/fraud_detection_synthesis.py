@@ -1,0 +1,39 @@
+"""Outsourced fraud detection on synthetic credit-card data (paper Section VI-A).
+
+Scenario: a payment processor wants an external data-science team to build a
+fraud detector, but cannot share raw transactions.  It trains P3GM under a
+(1, 1e-5)-DP budget, releases synthetic transactions, and the external team
+trains its classifiers on the synthetic data.  This script compares that
+workflow against the DP-GM and PrivBayes baselines and the non-private ceiling.
+
+Run with:  python examples/fraud_detection_synthesis.py
+"""
+
+from repro.datasets import load_dataset
+from repro.evaluation import evaluate_original, evaluate_synthesizer, format_rows, model_factories
+
+
+def main() -> None:
+    data = load_dataset("credit", n_samples=12000, random_state=0)
+    print(f"simulated Kaggle Credit: {data.n_samples} rows, positive rate {data.positive_rate:.4f}")
+
+    rows = []
+    factories = model_factories(
+        epsilon=1.0, delta=1e-5, dataset_name="credit", scale="small",
+        include=("P3GM", "DP-GM", "PrivBayes"), random_state=0,
+    )
+    for name, factory in factories.items():
+        print(f"training {name} ...")
+        result = evaluate_synthesizer(factory(), data, model_name=name, random_state=0)
+        rows.append(result.as_row())
+
+    rows.append(evaluate_original(data, random_state=0).as_row())
+    print(format_rows(rows, title="\nFraud detection utility (AUROC / AUPRC over 4 classifiers)"))
+    print(
+        "\nExpected shape (paper Table VI): P3GM > DP-GM > PrivBayes on this "
+        "imbalanced, correlated dataset; 'original' is the non-private ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

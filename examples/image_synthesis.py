@@ -1,0 +1,61 @@
+"""Private release of image data (paper Figure 2 / Table VII workflow).
+
+Trains P3GM on simulated MNIST under (1, 1e-5)-DP, generates synthetic digits,
+reports sample-quality metrics (the quantitative counterpart of Figure 2), and
+trains a classifier on the synthetic images to measure downstream accuracy.
+
+Run with:  python examples/image_synthesis.py
+"""
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.evaluation import format_rows, sample_quality
+from repro.ml import MLPClassifier, accuracy_score
+from repro.models import P3GM
+
+
+def ascii_render(image: np.ndarray, side: int = 28) -> str:
+    """Render one flattened grey-scale image as ASCII art."""
+    shades = " .:-=+*#%@"
+    grid = image.reshape(side, side)
+    return "\n".join(
+        "".join(shades[min(int(value * (len(shades) - 1)), len(shades) - 1)] for value in row)
+        for row in grid[::2]  # halve vertically so it fits a terminal
+    )
+
+
+def main() -> None:
+    data = load_dataset("mnist", n_samples=2500, random_state=0)
+    model = P3GM(
+        latent_dim=10,
+        hidden=(128,),
+        epochs=5,
+        batch_size=200,
+        epsilon=1.0,
+        delta=1e-5,
+        noise_multiplier=1.42,  # Table IV value for MNIST
+        random_state=0,
+    )
+    model.fit(data.X_train, data.y_train)
+    print(f"P3GM trained with ({model.privacy_spent()[0]:.3f}, {model.delta})-DP")
+
+    X_synthetic, y_synthetic = model.sample_labeled(len(data.X_test), rng=0)
+
+    print("\nOne synthetic sample per class:")
+    for label in range(min(3, data.n_classes)):
+        index = int(np.flatnonzero(y_synthetic == label)[0])
+        print(f"\nclass {label}:")
+        print(ascii_render(X_synthetic[index]))
+
+    quality = sample_quality(data.X_test, X_synthetic, random_state=0)
+    print(format_rows([{"model": "P3GM", **quality.as_row()}], title="\nSample quality (Figure 2 proxy)"))
+
+    classifier = MLPClassifier(hidden=(128,), epochs=15, learning_rate=3e-3, random_state=0)
+    classifier.fit(X_synthetic, y_synthetic)
+    accuracy = accuracy_score(data.y_test, classifier.predict(data.X_test))
+    print(f"\nclassifier trained on synthetic digits, tested on real digits: accuracy = {accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so modern PEP-517 editable installs
+(``pip install -e .``) cannot build a wheel.  ``python setup.py develop``
+(or adding ``src/`` to a ``.pth`` file) provides the equivalent editable
+install; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

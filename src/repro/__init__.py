@@ -1,0 +1,28 @@
+"""Reproduction of *P3GM: Private High-Dimensional Data Release via Privacy
+Preserving Phased Generative Model* (Takagi et al., ICDE 2021).
+
+The package is organised as a layered system:
+
+- :mod:`repro.nn` — numpy autodiff / neural-network substrate (PyTorch stand-in).
+- :mod:`repro.privacy` — DP mechanisms, DP-SGD, and Rényi/moments/zCDP accounting.
+- :mod:`repro.decomposition` — PCA and DP-PCA (Wishart mechanism).
+- :mod:`repro.mixture` — Gaussian mixtures, DP-EM, and Gaussian-mixture KL.
+- :mod:`repro.models` — the generative models: VAE, DP-VAE, PGM, **P3GM**, DP-GM, PrivBayes.
+- :mod:`repro.ml` — downstream classifiers and evaluation metrics.
+- :mod:`repro.datasets` — simulators for the paper's six datasets.
+- :mod:`repro.evaluation` — the synthetic-data utility protocol and experiment runners.
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.models import P3GM
+
+    data = load_dataset("credit", n_samples=2000, random_state=0)
+    model = P3GM(epsilon=1.0, delta=1e-5, random_state=0)
+    model.fit(data.X_train, data.y_train)
+    X_syn, y_syn = model.sample_labeled(1000)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,62 @@
+"""Dataset container shared by all simulators.
+
+The execution environment has no network access, so the paper's six public
+datasets (Table III) are replaced by parametric simulators that match each
+dataset's dimensionality, number of classes, class imbalance, and broad
+correlation structure.  Every simulator returns a :class:`Dataset` already
+split 90/10 into train and test (the paper's protocol), with features scaled
+to ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A labelled dataset with a fixed train/test split."""
+
+    name: str
+    X_train: np.ndarray
+    X_test: np.ndarray
+    y_train: np.ndarray
+    y_test: np.ndarray
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_features(self) -> int:
+        return self.X_train.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return len(np.unique(np.concatenate([self.y_train, self.y_test])))
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.X_train) + len(self.X_test)
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of positive labels (binary datasets only)."""
+        y = np.concatenate([self.y_train, self.y_test])
+        if self.n_classes != 2:
+            raise ValueError("positive_rate is only defined for binary datasets")
+        return float(np.mean(y == 1))
+
+    def summary(self) -> dict:
+        """One row of the paper's Table III for this dataset."""
+        row = {
+            "name": self.name,
+            "n_samples": self.n_samples,
+            "n_features": self.n_features,
+            "n_classes": self.n_classes,
+        }
+        if self.n_classes == 2:
+            row["positive_rate"] = round(self.positive_rate, 4)
+        return row

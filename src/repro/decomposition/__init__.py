@@ -1,0 +1,6 @@
+"""``repro.decomposition`` — PCA and its Wishart-mechanism DP variant."""
+
+from repro.decomposition.dp_pca import DPPCA
+from repro.decomposition.pca import PCA
+
+__all__ = ["PCA", "DPPCA"]

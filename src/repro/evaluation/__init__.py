@@ -1,0 +1,45 @@
+"""``repro.evaluation`` — the utility protocol, experiment runners, and reporting."""
+
+from repro.evaluation.experiments import (
+    run_fig2_sample_quality,
+    run_fig4_epsilon_sweep,
+    run_fig5_dimension_sweep,
+    run_fig6_composition,
+    run_fig7_learning_efficiency,
+    run_table5_nonprivate_comparison,
+    run_table6_private_tabular,
+    run_table7_image_classification,
+)
+from repro.evaluation.model_zoo import PAPER_SGD_NOISE, SCALES, model_factories
+from repro.evaluation.pipeline import (
+    UtilityResult,
+    default_classifier_suite,
+    evaluate_original,
+    evaluate_synthesizer,
+    image_classifier_suite,
+)
+from repro.evaluation.reporting import format_curves, format_rows
+from repro.evaluation.sample_quality import SampleQuality, sample_quality
+
+__all__ = [
+    "UtilityResult",
+    "evaluate_synthesizer",
+    "evaluate_original",
+    "default_classifier_suite",
+    "image_classifier_suite",
+    "model_factories",
+    "SCALES",
+    "PAPER_SGD_NOISE",
+    "SampleQuality",
+    "sample_quality",
+    "format_rows",
+    "format_curves",
+    "run_table5_nonprivate_comparison",
+    "run_table6_private_tabular",
+    "run_table7_image_classification",
+    "run_fig2_sample_quality",
+    "run_fig4_epsilon_sweep",
+    "run_fig5_dimension_sweep",
+    "run_fig6_composition",
+    "run_fig7_learning_efficiency",
+]

@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results (the benchmark harness output)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["format_rows", "format_curves"]
+
+
+def format_rows(rows: Sequence[dict], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return title + "\n(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column, ""))) for row in rows)) + 2
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("".join(_fmt(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_curves(curves: dict, metric: str, title: str = "") -> str:
+    """Render per-epoch curves (Figure 7) as one row per model."""
+    lines = [title] if title else []
+    for model, series in curves.items():
+        values = series.get(metric, [])
+        rendered = ", ".join(f"{value:.4f}" for value in values)
+        lines.append(f"{model:<10} {metric}: [{rendered}]")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

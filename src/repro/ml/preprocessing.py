@@ -1,0 +1,112 @@
+"""Preprocessing utilities used by the evaluation pipeline.
+
+The generative models expect features in ``[0, 1]`` (Bernoulli decoders), so
+the pipeline min–max scales every dataset before synthesis and keeps the
+scaler to map synthetic data back if needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_array
+
+__all__ = ["MinMaxScaler", "StandardScaler", "train_test_split"]
+
+
+class MinMaxScaler:
+    """Scale features to ``[0, 1]`` column-wise (constant columns map to 0)."""
+
+    def __init__(self):
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X, "X")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X, "X")
+        span = np.maximum(self.data_max_ - self.data_min_, 1e-12)
+        return np.clip((X - self.data_min_) / span, 0.0, 1.0)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X, "X")
+        span = np.maximum(self.data_max_ - self.data_min_, 1e-12)
+        return X * span + self.data_min_
+
+    def _check_fitted(self) -> None:
+        if self.data_min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted yet")
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling (constant columns keep variance 1)."""
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X, "X")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted yet")
+        X = check_array(X, "X")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted yet")
+        X = check_array(X, "X")
+        return X * self.scale_ + self.mean_
+
+
+def train_test_split(X, y, test_size: float = 0.1, stratify: bool = True, random_state=None):
+    """Split ``(X, y)`` into train and test partitions.
+
+    ``stratify=True`` keeps the label ratio identical in both splits, which the
+    paper's protocol relies on for the heavily imbalanced Kaggle Credit data.
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y have inconsistent lengths")
+    rng = as_generator(random_state)
+
+    if stratify:
+        test_indices = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            members = rng.permutation(members)
+            n_test = max(1, int(round(test_size * len(members))))
+            test_indices.append(members[:n_test])
+        test_index = np.concatenate(test_indices)
+    else:
+        order = rng.permutation(len(X))
+        test_index = order[: max(1, int(round(test_size * len(X))))]
+
+    mask = np.zeros(len(X), dtype=bool)
+    mask[test_index] = True
+    return X[~mask], X[mask], y[~mask], y[mask]

@@ -1,0 +1,32 @@
+"""``repro.models`` — the generative models of the paper.
+
+- :class:`VAE` — non-private reference model (Kingma & Welling).
+- :class:`DPVAE` — the naive baseline: VAE trained end to end with DP-SGD.
+- :class:`PGM` — the non-private phased generative model (Section IV).
+- :class:`P3GM` — the paper's contribution: DP-PCA + DP-EM + DP-SGD phases.
+- :class:`DPGM` — DP mixture of generative networks (Acs et al.) baseline.
+- :class:`PrivBayes` — Bayesian-network synthesizer (Zhang et al.) baseline.
+"""
+
+from repro.models.base import GenerativeModel, LabelEncodingMixin
+from repro.models.capabilities import CAPABILITY_MATRIX, Capability, capability_table
+from repro.models.dp_gm import DPGM
+from repro.models.dp_vae import DPVAE
+from repro.models.p3gm import P3GM
+from repro.models.pgm import PGM
+from repro.models.privbayes import PrivBayes
+from repro.models.vae import VAE
+
+__all__ = [
+    "GenerativeModel",
+    "LabelEncodingMixin",
+    "VAE",
+    "DPVAE",
+    "PGM",
+    "P3GM",
+    "DPGM",
+    "PrivBayes",
+    "Capability",
+    "CAPABILITY_MATRIX",
+    "capability_table",
+]

@@ -1,0 +1,168 @@
+"""Common interface and label handling for the generative models.
+
+Every synthesizer in :mod:`repro.models` follows the same protocol:
+
+- ``fit(X, y=None)`` — train on features in ``[0, 1]`` (the evaluation
+  pipeline min–max scales data first, as the paper's Bernoulli decoders
+  assume).  If labels are provided they are attached by one-hot encoding and
+  concatenated to the features, exactly as Section IV-E describes.
+- ``sample(n)`` — draw ``n`` synthetic feature rows.
+- ``sample_labeled(n)`` — draw synthetic ``(X, y)`` whose label ratio matches
+  the training data (the protocol of the paper's utility experiments).
+- ``privacy_spent()`` — the ``(epsilon, delta)`` guarantee of the fitted model
+  (``(0, 0)`` or ``(inf, 0)`` for non-private models).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_array
+
+__all__ = ["GenerativeModel", "LabelEncodingMixin"]
+
+
+class GenerativeModel:
+    """Abstract base class for data synthesizers."""
+
+    def fit(self, X, y=None):
+        raise NotImplementedError
+
+    def sample(self, n_samples: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def privacy_spent(self) -> tuple:
+        """Return the ``(epsilon, delta)`` guarantee of the trained model."""
+        return (float("inf"), 0.0)
+
+    @property
+    def is_private(self) -> bool:
+        eps, _ = self.privacy_spent()
+        return np.isfinite(eps)
+
+
+class LabelEncodingMixin:
+    """One-hot label attachment and ratio-matched labelled sampling.
+
+    Subclasses must provide ``sample(n)`` returning rows whose trailing columns
+    are the one-hot label block appended by :meth:`_attach_labels` during
+    ``fit``.
+
+    If the subclass defines a ``label_repeat`` attribute greater than 1, the
+    one-hot block is replicated that many times.  This acts as a weight on the
+    label-reconstruction term of the ELBO: with heavily imbalanced data and
+    per-example gradient clipping (DP-SGD), a single one-hot column carries too
+    little gradient signal for the minority class to be learned, and the paper's
+    protocol of attaching the label as ordinary columns would silently fail at
+    laptop scale.  Replication keeps targets in ``{0, 1}`` (so Bernoulli
+    decoders still apply) and is a pure reweighting of the reconstruction term;
+    it does not affect privacy accounting.
+    """
+
+    _n_classes: int = 0
+    _classes: Optional[np.ndarray] = None
+    _label_ratio: Optional[np.ndarray] = None
+    _label_repeat: int = 1
+
+    # -- training-side helpers ----------------------------------------------------
+
+    def _attach_labels(self, X: np.ndarray, y) -> np.ndarray:
+        """Concatenate a (possibly replicated) one-hot label block to ``X``."""
+        X = check_array(X, "X")
+        if y is None:
+            self._n_classes = 0
+            self._classes = None
+            self._label_ratio = None
+            self._label_repeat = 1
+            return X
+        y = np.asarray(y)
+        if len(y) != len(X):
+            raise ValueError("X and y have inconsistent lengths")
+        self._label_repeat = max(1, int(getattr(self, "label_repeat", 1)))
+        self._classes, indices = np.unique(y, return_inverse=True)
+        self._n_classes = len(self._classes)
+        onehot = np.zeros((len(X), self._n_classes))
+        onehot[np.arange(len(X)), indices] = 1.0
+        self._label_ratio = onehot.mean(axis=0)
+        return np.hstack([X, np.tile(onehot, (1, self._label_repeat))])
+
+    def _label_block_width(self) -> int:
+        return self._n_classes * self._label_repeat
+
+    def _label_scores(self, rows: np.ndarray) -> np.ndarray:
+        """Per-class activation summed over the replicated label block."""
+        width = self._label_block_width()
+        block = rows[:, -width:]
+        return block.reshape(len(rows), self._label_repeat, self._n_classes).sum(axis=1)
+
+    def _split_labels(self, rows: np.ndarray):
+        """Split generated rows back into ``(features, labels)``."""
+        if self._n_classes == 0:
+            return rows, None
+        features = rows[:, : -self._label_block_width()]
+        labels = self._classes[np.argmax(self._label_scores(rows), axis=1)]
+        return features, labels
+
+    @property
+    def n_feature_columns(self) -> int:
+        """Number of raw feature columns (excluding the label block)."""
+        total = getattr(self, "n_input_features_", None)
+        if total is None:
+            raise RuntimeError("model is not fitted")
+        return total - self._label_block_width()
+
+    # -- sampling-side helpers ------------------------------------------------------
+
+    def sample_labeled(self, n_samples: int, match_ratio: bool = True, rng=None):
+        """Sample labelled synthetic data.
+
+        When ``match_ratio`` is true (the paper's protocol) the output label
+        distribution matches the training label ratio: samples are drawn in
+        excess and assigned to per-class quotas by their one-hot activation,
+        which also guards against mode-collapse starving a class entirely.
+        """
+        if self._n_classes == 0:
+            raise RuntimeError("model was fitted without labels; use sample() instead")
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        rng = as_generator(rng)
+
+        if not match_ratio:
+            rows = self.sample(n_samples)
+            return self._split_labels(rows)
+
+        quotas = np.round(self._label_ratio * n_samples).astype(int)
+        # Rounding can drop/add a few samples; fix up on the largest class.
+        quotas[np.argmax(quotas)] += n_samples - quotas.sum()
+
+        oversample = max(2 * n_samples, 4 * self._n_classes)
+        rows = self.sample(oversample)
+        scores = self._label_scores(rows)
+        assignments = np.argmax(scores, axis=1)
+        feature_width = rows.shape[1] - self._label_block_width()
+
+        selected = []
+        labels_out = []
+        for class_index in range(self._n_classes):
+            quota = quotas[class_index]
+            if quota == 0:
+                continue
+            candidates = np.flatnonzero(assignments == class_index)
+            if len(candidates) >= quota:
+                chosen = rng.choice(candidates, size=quota, replace=False)
+            else:
+                # Not enough samples naturally landed in this class: take the
+                # rows with the strongest activation for it (with replacement
+                # if the class never appears at all).
+                order = np.argsort(-scores[:, class_index])
+                chosen = order[:quota]
+            selected.append(rows[chosen, :feature_width])
+            labels_out.append(np.full(quota, self._classes[class_index]))
+
+        features = np.vstack(selected)
+        labels = np.concatenate(labels_out)
+        shuffle = rng.permutation(len(features))
+        return features[shuffle], labels[shuffle]

@@ -1,0 +1,301 @@
+"""PGM — the (non-private) phased generative model of Section IV.
+
+PGM separates the VAE's end-to-end training into two phases:
+
+1. **Encoding Phase** — a dimensionality reduction ``f`` (PCA) fixes the
+   encoder mean ``mu_phi(x) = f(x)``; a mixture of Gaussians ``r_lambda(z)`` is
+   fitted on the projected data and becomes the latent prior ``p_theta(z)``.
+2. **Decoding Phase** — the decoder (and the encoder's *variance* head) are
+   trained by maximising the ELBO with the fixed encoder mean and the MoG
+   prior, following the AEVB algorithm.
+
+:class:`PGM` here is the non-private variant (used in Table V and as the
+"PGM" curve of Figure 4); :class:`repro.models.P3GM` swaps every component for
+its differentially private counterpart.
+
+The ``variance_mode`` switch also implements the paper's "P3GM (AE)" ablation
+(Section V-B / Figure 7): freezing the encoder variance at a constant value
+(zero → deterministic autoencoder behaviour, KL term dropped).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.decomposition import PCA
+from repro.mixture import GaussianMixture
+from repro.mixture.kl import kl_gaussian_to_mog
+from repro.models.base import GenerativeModel, LabelEncodingMixin
+from repro.nn import MLP, Adam, Tensor, no_grad
+from repro.nn import functional as F
+from repro.utils.logging import TrainingHistory
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_array, check_positive
+
+__all__ = ["PGM"]
+
+
+class PGM(GenerativeModel, LabelEncodingMixin):
+    """Phased generative model (non-private).
+
+    Parameters
+    ----------
+    latent_dim:
+        Reduced dimensionality ``d'`` (the paper uses 10 for most datasets).
+        If the data has fewer than ``latent_dim`` features, the dimensionality
+        reduction is skipped (as the paper does for Kaggle Credit) and the
+        latent space equals the input space.
+    n_mixture_components:
+        Number of MoG components ``d_m`` (3 in the paper).
+    em_iterations:
+        EM iterations for fitting the latent prior.
+    hidden:
+        Hidden widths of the variance head and the decoder (paper: ``(1000,)``).
+    variance_mode:
+        ``"learned"`` — the encoder variance is trained in the decoding phase
+        (full P3GM); ``"fixed"`` — the variance is frozen at
+        ``fixed_variance`` (``0`` reproduces the AE-like ablation, where the
+        KL term is constant and dropped).
+    decoder_type:
+        ``"bernoulli"`` or ``"gaussian"``; see :class:`repro.models.VAE`.
+    """
+
+    def __init__(
+        self,
+        latent_dim: int = 10,
+        n_mixture_components: int = 3,
+        em_iterations: int = 20,
+        hidden: tuple = (1000,),
+        epochs: int = 10,
+        batch_size: int = 100,
+        learning_rate: float = 1e-3,
+        decoder_type: str = "bernoulli",
+        variance_mode: str = "learned",
+        fixed_variance: float = 0.0,
+        label_repeat: int = 10,
+        random_state=None,
+    ):
+        check_positive(latent_dim, "latent_dim")
+        check_positive(n_mixture_components, "n_mixture_components")
+        check_positive(em_iterations, "em_iterations")
+        check_positive(epochs, "epochs")
+        check_positive(batch_size, "batch_size")
+        check_positive(learning_rate, "learning_rate")
+        check_positive(label_repeat, "label_repeat")
+        if decoder_type not in ("bernoulli", "gaussian"):
+            raise ValueError("decoder_type must be 'bernoulli' or 'gaussian'")
+        if variance_mode not in ("learned", "fixed"):
+            raise ValueError("variance_mode must be 'learned' or 'fixed'")
+        if fixed_variance < 0:
+            raise ValueError("fixed_variance must be non-negative")
+        self.latent_dim = latent_dim
+        self.n_mixture_components = n_mixture_components
+        self.em_iterations = em_iterations
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.decoder_type = decoder_type
+        self.variance_mode = variance_mode
+        self.fixed_variance = fixed_variance
+        self.label_repeat = label_repeat
+        self.random_state = random_state
+        self._rng = as_generator(random_state)
+
+        self.reducer = None
+        self.prior: Optional[GaussianMixture] = None
+        self.variance_head: Optional[MLP] = None
+        self.decoder: Optional[MLP] = None
+        self.n_input_features_: Optional[int] = None
+        self.effective_latent_dim_: Optional[int] = None
+        self.history = TrainingHistory()
+        #: Optional hook ``callback(model, epoch)`` invoked after every epoch
+        #: (used by the learning-efficiency experiments, Figure 7).
+        self.epoch_callback = None
+
+    # ------------------------------------------------------------------
+    # Encoding Phase
+    # ------------------------------------------------------------------
+
+    def _build_reducer(self, n_features: int):
+        """Return the dimensionality reduction ``f`` (or ``None`` to skip it)."""
+        if self.latent_dim >= n_features:
+            return None
+        return PCA(n_components=self.latent_dim)
+
+    def _build_prior(self) -> GaussianMixture:
+        return GaussianMixture(
+            n_components=self.n_mixture_components,
+            covariance_type="diag",
+            n_iter=self.em_iterations,
+            random_state=self._rng,
+        )
+
+    def _encoding_phase(self, data: np.ndarray) -> np.ndarray:
+        """Fix the encoder mean and fit the latent prior; returns projected data."""
+        self.reducer = self._build_reducer(data.shape[1])
+        if self.reducer is None:
+            self.effective_latent_dim_ = data.shape[1]
+            projected = data
+        else:
+            self.effective_latent_dim_ = self.latent_dim
+            self.reducer.fit(data)
+            projected = self.reducer.transform(data)
+        self.prior = self._build_prior()
+        self.prior.fit(projected)
+        return projected
+
+    def _project(self, data: np.ndarray) -> np.ndarray:
+        """The fixed encoder mean ``f(x)``."""
+        if self.reducer is None:
+            return data
+        return self.reducer.transform(data)
+
+    # ------------------------------------------------------------------
+    # Decoding Phase
+    # ------------------------------------------------------------------
+
+    def _build_networks(self, n_features: int) -> None:
+        from repro.nn.layers import final_linear
+
+        output_activation = "sigmoid" if self.decoder_type == "bernoulli" else None
+        self.variance_head = MLP(
+            n_features, self.hidden, self.effective_latent_dim_, rng=self._rng
+        )
+        self.decoder = MLP(
+            self.effective_latent_dim_,
+            self.hidden,
+            n_features,
+            output_activation=output_activation,
+            rng=self._rng,
+        )
+        # Neutral starting point (log-variance ~ 0, decoder probability ~ 0.5):
+        # clipped/noised DP-SGD recovers slowly from saturated initial outputs.
+        final_linear(self.variance_head).weight.data *= 0.01
+        final_linear(self.decoder).weight.data *= 0.01
+
+    def _trainable_parameters(self):
+        if self.variance_mode == "learned":
+            yield from self.variance_head.parameters()
+        yield from self.decoder.parameters()
+
+    def _log_variance(self, x: Tensor, batch_size: int) -> Optional[Tensor]:
+        """Encoder log-variance; ``None`` means a deterministic encoder (AE mode)."""
+        if self.variance_mode == "learned":
+            return self.variance_head(x).clip(-10.0, 10.0)
+        if self.fixed_variance == 0.0:
+            return None
+        value = np.full((batch_size, self.effective_latent_dim_), np.log(self.fixed_variance))
+        return Tensor(value)
+
+    def _reconstruction_term(self, decoded: Tensor, target: np.ndarray) -> Tensor:
+        if self.decoder_type == "bernoulli":
+            per_feature = F.binary_cross_entropy(decoded, target, reduction="none")
+        else:
+            per_feature = 0.5 * (decoded - Tensor(target)) ** 2
+        return per_feature.sum(axis=1)
+
+    def _per_example_loss(self, batch: np.ndarray, projected: np.ndarray) -> tuple:
+        """Per-example (reconstruction, kl) for the decoding-phase objective (Eq. 8)."""
+        x = Tensor(batch)
+        mu = Tensor(projected)  # fixed encoder mean: no gradient flows into it
+        log_var = self._log_variance(x, len(batch))
+        if log_var is None:
+            z = mu
+            kl = Tensor(np.zeros(len(batch)))
+        else:
+            noise = Tensor(self._rng.normal(size=mu.shape))
+            z = mu + (log_var * 0.5).exp() * noise
+            kl = kl_gaussian_to_mog(
+                mu,
+                log_var,
+                self.prior.weights_,
+                self.prior.means_,
+                self.prior.diagonal_covariances(),
+            )
+        decoded = self.decoder(z)
+        reconstruction = self._reconstruction_term(decoded, batch)
+        return reconstruction, kl
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+
+    def fit(self, X, y=None) -> "PGM":
+        data = self._attach_labels(check_array(X, "X"), y)
+        self.n_input_features_ = data.shape[1]
+        projected = self._encoding_phase(data)
+        self._build_networks(self.n_input_features_)
+        optimizer = self._make_optimizer(data)
+        self._train_loop(data, projected, optimizer)
+        return self
+
+    def _make_optimizer(self, data: np.ndarray):
+        return Adam(list(self._trainable_parameters()), lr=self.learning_rate)
+
+    def _train_loop(self, data: np.ndarray, projected: np.ndarray, optimizer) -> None:
+        n_samples = len(data)
+        batch_size = min(self.batch_size, n_samples)
+        for epoch in range(self.epochs):
+            order = self._rng.permutation(n_samples)
+            epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
+            for start in range(0, n_samples, batch_size):
+                index = order[start : start + batch_size]
+                recon, kl = self._optimization_step(data[index], projected[index], optimizer)
+                epoch_recon += recon
+                epoch_kl += kl
+                batches += 1
+            self.history.log(
+                epoch=epoch,
+                reconstruction_loss=epoch_recon / batches,
+                kl_loss=epoch_kl / batches,
+                elbo_loss=(epoch_recon + epoch_kl) / batches,
+            )
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, epoch)
+
+    def _optimization_step(self, batch: np.ndarray, projected: np.ndarray, optimizer) -> tuple:
+        optimizer.zero_grad()
+        reconstruction, kl = self._per_example_loss(batch, projected)
+        (reconstruction + kl).mean().backward()
+        optimizer.step()
+        return float(reconstruction.data.mean()), float(kl.data.mean())
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers and sampling
+    # ------------------------------------------------------------------
+
+    def reconstruction_loss(self, X, y=None) -> float:
+        """Mean per-example reconstruction loss (Figure 7 metric)."""
+        self._check_fitted()
+        data = check_array(X, "X")
+        if self._n_classes and data.shape[1] == self.n_feature_columns:
+            if y is None:
+                raise ValueError("model was trained with labels; pass y as well")
+            onehot = np.zeros((len(data), self._n_classes))
+            indices = np.searchsorted(self._classes, np.asarray(y))
+            onehot[np.arange(len(data)), indices] = 1.0
+            data = np.hstack([data, np.tile(onehot, (1, self._label_repeat))])
+        projected = self._project(data)
+        with no_grad():
+            reconstruction, _ = self._per_example_loss(data, projected)
+        return float(reconstruction.data.mean())
+
+    def sample(self, n_samples: int) -> np.ndarray:
+        """Data synthesis (Section IV-E): ``z ~ MoG(lambda)``, then decode."""
+        self._check_fitted()
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        latent, _ = self.prior.sample(n_samples, rng=self._rng)
+        with no_grad():
+            decoded = self.decoder(Tensor(latent)).data
+        return np.clip(decoded, 0.0, 1.0) if self.decoder_type == "bernoulli" else decoded
+
+    def privacy_spent(self) -> tuple:
+        return (float("inf"), 0.0)
+
+    def _check_fitted(self) -> None:
+        if self.decoder is None or self.prior is None:
+            raise RuntimeError("model is not fitted yet; call fit() first")

@@ -1,0 +1,206 @@
+"""Variational autoencoder (Kingma & Welling) and its training loop.
+
+The VAE is both a non-private reference model (Table V, Table VII "VAE"
+column) and the backbone that the phased models modify.  The encoder and
+decoder follow the paper's implementation section: two fully connected layers
+of width 1000 with ReLU activations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import GenerativeModel, LabelEncodingMixin
+from repro.nn import MLP, Adam, Tensor, no_grad
+from repro.nn import functional as F
+from repro.utils.logging import TrainingHistory
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_array, check_positive
+
+__all__ = ["VAE"]
+
+
+class VAE(GenerativeModel, LabelEncodingMixin):
+    """Auto-Encoding Variational Bayes with an isotropic Gaussian prior.
+
+    Parameters
+    ----------
+    latent_dim:
+        Dimensionality of the latent variable ``z``.
+    hidden:
+        Hidden layer widths of both encoder and decoder (paper: ``(1000,)``).
+    epochs, batch_size, learning_rate:
+        Standard optimisation hyper-parameters (Adam).
+    decoder_type:
+        ``"bernoulli"`` — the decoder outputs per-feature probabilities and the
+        reconstruction term is a sum of binary cross-entropies (data must lie
+        in ``[0, 1]``); ``"gaussian"`` — the decoder outputs means of a
+        unit-variance Gaussian and the reconstruction term is a squared error.
+    """
+
+    def __init__(
+        self,
+        latent_dim: int = 10,
+        hidden: tuple = (1000,),
+        epochs: int = 10,
+        batch_size: int = 100,
+        learning_rate: float = 1e-3,
+        decoder_type: str = "bernoulli",
+        label_repeat: int = 10,
+        random_state=None,
+    ):
+        check_positive(latent_dim, "latent_dim")
+        check_positive(epochs, "epochs")
+        check_positive(batch_size, "batch_size")
+        check_positive(learning_rate, "learning_rate")
+        check_positive(label_repeat, "label_repeat")
+        if decoder_type not in ("bernoulli", "gaussian"):
+            raise ValueError("decoder_type must be 'bernoulli' or 'gaussian'")
+        self.latent_dim = latent_dim
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.decoder_type = decoder_type
+        self.label_repeat = label_repeat
+        self.random_state = random_state
+        self._rng = as_generator(random_state)
+
+        self.encoder: Optional[MLP] = None
+        self.decoder: Optional[MLP] = None
+        self.n_input_features_: Optional[int] = None
+        self.history = TrainingHistory()
+        #: Optional hook ``callback(model, epoch)`` invoked after every epoch
+        #: (used by the learning-efficiency experiments, Figure 7).
+        self.epoch_callback = None
+
+    # -- model construction ---------------------------------------------------------
+
+    def _build(self, n_features: int) -> None:
+        from repro.nn.layers import final_linear
+
+        output_activation = "sigmoid" if self.decoder_type == "bernoulli" else None
+        self.encoder = MLP(n_features, self.hidden, 2 * self.latent_dim, rng=self._rng)
+        self.decoder = MLP(
+            self.latent_dim, self.hidden, n_features, output_activation=output_activation, rng=self._rng
+        )
+        # Start the encoder at (mu, log_var) ~ 0 and the decoder at p ~ 0.5: a
+        # neutral initialisation that noisy, clipped DP-SGD can improve on
+        # rather than having to first undo saturated outputs.
+        final_linear(self.encoder).weight.data *= 0.01
+        final_linear(self.decoder).weight.data *= 0.01
+
+    def _parameters(self):
+        yield from self.encoder.parameters()
+        yield from self.decoder.parameters()
+
+    # -- ELBO -------------------------------------------------------------------------
+
+    def _encode(self, x: Tensor):
+        encoded = self.encoder(x)
+        mu = encoded[:, : self.latent_dim]
+        log_var = encoded[:, self.latent_dim :].clip(-10.0, 10.0)
+        return mu, log_var
+
+    def _reparameterize(self, mu: Tensor, log_var: Tensor) -> Tensor:
+        noise = Tensor(self._rng.normal(size=mu.shape))
+        return mu + (log_var * 0.5).exp() * noise
+
+    def _reconstruction_term(self, decoded: Tensor, target: np.ndarray) -> Tensor:
+        """Per-example negative log-likelihood of the decoder, shape (batch,)."""
+        if self.decoder_type == "bernoulli":
+            per_feature = F.binary_cross_entropy(decoded, target, reduction="none")
+        else:
+            per_feature = 0.5 * (decoded - Tensor(target)) ** 2
+        return per_feature.sum(axis=1)
+
+    def _per_example_loss(self, batch: np.ndarray) -> tuple:
+        """Return per-example ``(reconstruction, kl)`` tensors for a batch."""
+        x = Tensor(batch)
+        mu, log_var = self._encode(x)
+        z = self._reparameterize(mu, log_var)
+        decoded = self.decoder(z)
+        reconstruction = self._reconstruction_term(decoded, batch)
+        kl = F.kl_standard_normal(mu, log_var, reduction="none")
+        return reconstruction, kl
+
+    # -- training -----------------------------------------------------------------------
+
+    def fit(self, X, y=None) -> "VAE":
+        data = self._attach_labels(check_array(X, "X"), y)
+        self.n_input_features_ = data.shape[1]
+        self._build(self.n_input_features_)
+        optimizer = Adam(list(self._parameters()), lr=self.learning_rate)
+        self._train_loop(data, optimizer)
+        return self
+
+    def _train_loop(self, data: np.ndarray, optimizer) -> None:
+        n_samples = len(data)
+        batch_size = min(self.batch_size, n_samples)
+        for epoch in range(self.epochs):
+            order = self._rng.permutation(n_samples)
+            epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
+            for start in range(0, n_samples, batch_size):
+                batch = data[order[start : start + batch_size]]
+                recon, kl = self._optimization_step(batch, optimizer)
+                epoch_recon += recon
+                epoch_kl += kl
+                batches += 1
+            self.history.log(
+                epoch=epoch,
+                reconstruction_loss=epoch_recon / batches,
+                kl_loss=epoch_kl / batches,
+                elbo_loss=(epoch_recon + epoch_kl) / batches,
+            )
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, epoch)
+
+    def _optimization_step(self, batch: np.ndarray, optimizer) -> tuple:
+        """One (non-private) gradient step; returns mean (recon, kl) of the batch."""
+        optimizer.zero_grad()
+        reconstruction, kl = self._per_example_loss(batch)
+        loss = (reconstruction + kl).mean()
+        loss.backward()
+        optimizer.step()
+        return float(reconstruction.data.mean()), float(kl.data.mean())
+
+    # -- evaluation helpers ------------------------------------------------------------------
+
+    def reconstruction_loss(self, X, y=None) -> float:
+        """Mean per-example reconstruction loss (Figure 7a/7b metric)."""
+        self._check_fitted()
+        data = check_array(X, "X")
+        if self._n_classes and data.shape[1] == self.n_feature_columns:
+            if y is None:
+                raise ValueError("model was trained with labels; pass y as well")
+            onehot = np.zeros((len(data), self._n_classes))
+            indices = np.searchsorted(self._classes, np.asarray(y))
+            onehot[np.arange(len(data)), indices] = 1.0
+            data = np.hstack([data, np.tile(onehot, (1, self._label_repeat))])
+        with no_grad():
+            reconstruction, _ = self._per_example_loss(data)
+        return float(reconstruction.data.mean())
+
+    # -- sampling ----------------------------------------------------------------------------
+
+    def sample(self, n_samples: int) -> np.ndarray:
+        """Draw synthetic rows (features + one-hot label block if labelled)."""
+        self._check_fitted()
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        latent = self._sample_latent(n_samples)
+        with no_grad():
+            decoded = self.decoder(Tensor(latent)).data
+        return np.clip(decoded, 0.0, 1.0) if self.decoder_type == "bernoulli" else decoded
+
+    def _sample_latent(self, n_samples: int) -> np.ndarray:
+        return self._rng.normal(size=(n_samples, self.latent_dim))
+
+    def privacy_spent(self) -> tuple:
+        return (float("inf"), 0.0)
+
+    def _check_fitted(self) -> None:
+        if self.decoder is None:
+            raise RuntimeError("model is not fitted yet; call fit() first")

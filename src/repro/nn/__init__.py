@@ -1,0 +1,52 @@
+"""``repro.nn`` — a from-scratch numpy neural-network framework.
+
+This package stands in for PyTorch in the original P3GM implementation.  It
+provides reverse-mode autodiff (:mod:`repro.nn.autograd`), layers
+(:mod:`repro.nn.layers`), functional losses (:mod:`repro.nn.functional`) and
+optimizers (:mod:`repro.nn.optim`), plus per-example gradient capture needed
+by DP-SGD.
+"""
+
+from repro.nn import functional
+from repro.nn.autograd import (
+    Tensor,
+    grad_sample_mode,
+    is_grad_enabled,
+    is_grad_sample_enabled,
+    no_grad,
+)
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "grad_sample_mode",
+    "is_grad_enabled",
+    "is_grad_sample_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,497 @@
+"""A small reverse-mode automatic differentiation engine over numpy arrays.
+
+This module is the substrate on which every neural model in the library is
+built (the paper's implementation uses PyTorch; this is the from-scratch
+equivalent).  It provides a :class:`Tensor` wrapping an ``np.ndarray`` with a
+dynamically built computation graph, full broadcasting support, and a
+per-example gradient mode (``grad_sample``) required by DP-SGD's per-example
+clipping (see :mod:`repro.privacy.dp_sgd`).
+
+Only the operations the models need are implemented, but each supports
+arbitrary batch shapes and broadcasting, and each is covered by numerical
+gradient checks in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "grad_sample_mode",
+    "is_grad_sample_enabled",
+]
+
+# ---------------------------------------------------------------------------
+# Global modes
+# ---------------------------------------------------------------------------
+
+_GRAD_ENABLED = True
+_GRAD_SAMPLE_ENABLED = False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient graph construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_sample_enabled() -> bool:
+    """Return whether per-example gradients are being recorded."""
+    return _GRAD_SAMPLE_ENABLED
+
+
+@contextlib.contextmanager
+def grad_sample_mode():
+    """Context manager enabling per-example gradient capture.
+
+    Inside this context, parameter-consuming operations (``Tensor.affine``)
+    additionally populate ``param.grad_sample`` with a per-example gradient of
+    shape ``(batch, *param.shape)``.  The loss being differentiated must be a
+    sum over independent per-example terms for the captured values to be the
+    true per-example gradients (standard assumption of DP-SGD; the models in
+    this library never mix examples inside a batch).
+    """
+    global _GRAD_SAMPLE_ENABLED
+    previous = _GRAD_SAMPLE_ENABLED
+    _GRAD_SAMPLE_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_SAMPLE_ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# Broadcasting helper
+# ---------------------------------------------------------------------------
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to reverse numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Tensor
+# ---------------------------------------------------------------------------
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "grad_sample", "requires_grad", "_backward", "_prev")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self.grad_sample: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: tuple = ()
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying data (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients (both aggregate and per-example)."""
+        self.grad = None
+        self.grad_sample = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # -- graph construction helpers ------------------------------------------
+
+    @staticmethod
+    def _promote(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data, parents, backward) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other):
+        other = self._promote(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = self._promote(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(-grad)
+
+        return self._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return self._promote(other) - self
+
+    def __mul__(self, other):
+        other = self._promote(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._promote(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._promote(other) / self
+
+    def __pow__(self, exponent: float):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other):
+        other = self._promote(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    # -- elementwise nonlinearities -------------------------------------------
+
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def softplus(self):
+        # Numerically stable softplus: log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|))
+        out_data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * sig)
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float):
+        """Clamp values to ``[low, high]``; gradient is passed only inside."""
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(np.clip(self.data, low, high), (self,), backward)
+
+    # -- reductions -------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(np.float64)
+            mask = mask / mask.sum(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(mask * g)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- shape manipulation -----------------------------------------------------
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(original))
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    @property
+    def T(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).T)
+
+        return self._make(self.data.T, (self,), backward)
+
+    def __getitem__(self, index):
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._make(self.data[index], (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = [Tensor._promote(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+
+        def backward(grad):
+            pieces = np.split(np.asarray(grad), splits, axis=axis)
+            for t, piece in zip(tensors, pieces):
+                if t.requires_grad:
+                    t._accumulate(piece)
+
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+            out.requires_grad = True
+            out._prev = tuple(tensors)
+            out._backward = backward
+        return out
+
+    # -- parameterised affine op (per-example gradient aware) -------------------
+
+    def affine(self, weight: "Tensor", bias: Optional["Tensor"] = None) -> "Tensor":
+        """Compute ``self @ weight + bias`` with per-example gradient capture.
+
+        ``self`` must be of shape ``(batch, in_features)``; ``weight`` of shape
+        ``(in_features, out_features)``.  When :func:`grad_sample_mode` is
+        active, ``weight.grad_sample`` and ``bias.grad_sample`` receive
+        per-example gradients of shape ``(batch, in, out)`` and
+        ``(batch, out)`` respectively — the hook DP-SGD uses for clipping.
+        """
+        if self.data.ndim != 2:
+            raise ValueError("affine expects a 2-D (batch, features) input")
+        x = self
+        out_data = x.data @ weight.data
+        if bias is not None:
+            out_data = out_data + bias.data
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if x.requires_grad:
+                x._accumulate(grad @ weight.data.T)
+            if weight.requires_grad:
+                weight._accumulate(x.data.T @ grad)
+                if _GRAD_SAMPLE_ENABLED:
+                    sample = np.einsum("bi,bo->bio", x.data, grad)
+                    if weight.grad_sample is None:
+                        weight.grad_sample = sample
+                    else:
+                        weight.grad_sample = weight.grad_sample + sample
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=0))
+                if _GRAD_SAMPLE_ENABLED:
+                    if bias.grad_sample is None:
+                        bias.grad_sample = grad.copy()
+                    else:
+                        bias.grad_sample = bias.grad_sample + grad
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return self._make(out_data, parents, backward)
+
+    # -- backward pass -----------------------------------------------------------
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order of the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

@@ -1,0 +1,54 @@
+"""Noise calibration for standalone DP-SGD training.
+
+DP-VAE (the naive baseline) trains end to end with DP-SGD only, so its noise
+multiplier is calibrated directly against a target ``(epsilon, delta)`` using
+the subsampled-Gaussian RDP accountant.
+"""
+
+from __future__ import annotations
+
+from repro.privacy.accounting.rdp import DEFAULT_ALPHAS, RDPAccountant
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["dp_sgd_epsilon", "calibrate_dp_sgd_sigma"]
+
+
+def dp_sgd_epsilon(sigma: float, sample_rate: float, steps: int, delta: float) -> float:
+    """Epsilon spent by ``steps`` DP-SGD iterations with noise multiplier ``sigma``."""
+    check_positive(sigma, "sigma")
+    check_probability(sample_rate, "sample_rate")
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if steps == 0 or sample_rate == 0:
+        return 0.0
+    accountant = RDPAccountant(DEFAULT_ALPHAS)
+    accountant.compose_subsampled_gaussian(sample_rate, sigma, steps)
+    eps, _ = accountant.get_epsilon(delta)
+    return eps
+
+
+def calibrate_dp_sgd_sigma(
+    target_epsilon: float,
+    sample_rate: float,
+    steps: int,
+    delta: float,
+    low: float = 0.3,
+    high: float = 200.0,
+    tol: float = 1e-3,
+) -> float:
+    """Binary-search the smallest noise multiplier meeting ``target_epsilon``."""
+    check_positive(target_epsilon, "target_epsilon")
+    if dp_sgd_epsilon(high, sample_rate, steps, delta) > target_epsilon:
+        raise ValueError(
+            f"target epsilon {target_epsilon} unreachable even with sigma={high}"
+        )
+    if dp_sgd_epsilon(low, sample_rate, steps, delta) <= target_epsilon:
+        return low
+    lo, hi = low, high
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if dp_sgd_epsilon(mid, sample_rate, steps, delta) <= target_epsilon:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,86 @@
+"""Composition helpers across privacy accounting frameworks.
+
+Provides plain sequential composition of ``(epsilon, delta)`` guarantees and
+the *baseline* accounting of the P3GM pipeline used in the paper's Figure 6
+(zCDP for DP-EM + moments accountant for DP-SGD + pure DP for DP-PCA, combined
+sequentially), against which the RDP composition of Theorem 4 is compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.privacy.accounting import moments, zcdp
+from repro.utils.validation import check_probability
+
+__all__ = ["sequential_composition", "PipelineBudget", "baseline_p3gm_epsilon"]
+
+
+def sequential_composition(epsilons, deltas=None) -> tuple:
+    """Basic sequential composition: epsilons and deltas add up."""
+    epsilons = list(epsilons)
+    if any(e < 0 for e in epsilons):
+        raise ValueError("epsilon values must be non-negative")
+    total_eps = float(sum(epsilons))
+    if deltas is None:
+        return total_eps, 0.0
+    deltas = list(deltas)
+    if len(deltas) != len(epsilons):
+        raise ValueError("epsilons and deltas must have the same length")
+    for d in deltas:
+        check_probability(d, "delta")
+    return total_eps, float(sum(deltas))
+
+
+@dataclass
+class PipelineBudget:
+    """Parameters of the three-component P3GM pipeline for accounting purposes."""
+
+    epsilon_pca: float
+    sigma_em: float
+    em_iterations: int
+    n_components: int
+    sigma_sgd: float
+    sample_rate: float
+    sgd_steps: int
+
+    def __post_init__(self):
+        if self.epsilon_pca < 0:
+            raise ValueError("epsilon_pca must be non-negative")
+        if self.em_iterations < 0 or self.sgd_steps < 0:
+            raise ValueError("iteration counts must be non-negative")
+
+
+def baseline_p3gm_epsilon(budget: PipelineBudget, delta: float, lambdas=None) -> float:
+    """Baseline composition of the P3GM pipeline (paper Figure 6, 'zCDP + MA').
+
+    - DP-PCA contributes its pure ``epsilon_pca``.
+    - DP-EM is accounted with zCDP: each iteration perturbs ``2K + 1``
+      sensitivity-1 statistics with noise scale ``sigma_em``, composing to
+      ``rho = T_e (2K + 1) / (2 sigma_em^2)``, converted to DP with ``delta/2``.
+    - DP-SGD is accounted with the moments accountant (Eq. 4), converted with
+      ``delta/2``.
+    The three ``epsilon`` values compose sequentially.
+    """
+    check_probability(delta, "delta")
+    if delta <= 0:
+        raise ValueError("delta must be in (0, 1)")
+    lambdas = list(lambdas) if lambdas is not None else list(range(1, 128))
+
+    eps_total = budget.epsilon_pca
+
+    if budget.em_iterations > 0:
+        rho_per_iter = (2 * budget.n_components + 1) * zcdp.zcdp_gaussian(budget.sigma_em)
+        rho = zcdp.zcdp_compose([rho_per_iter] * budget.em_iterations)
+        eps_total += zcdp.zcdp_to_dp(rho, delta / 2.0)
+
+    if budget.sgd_steps > 0:
+        total_moments = [
+            budget.sgd_steps
+            * moments.dp_sgd_moment_bound(budget.sample_rate, budget.sigma_sgd, lam)
+            for lam in lambdas
+        ]
+        eps_sgd, _ = moments.moments_epsilon(total_moments, lambdas, delta / 2.0)
+        eps_total += eps_sgd
+
+    return eps_total

@@ -1,0 +1,43 @@
+"""Zero-concentrated differential privacy (zCDP) accounting.
+
+Used as the *baseline* composition method in the paper's Figure 6: the DP-EM
+component is accounted with zCDP (as in the DP-EM paper), the DP-SGD component
+with the moments accountant, and the two are combined by sequential
+composition of the resulting ``(epsilon, delta)`` guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["zcdp_gaussian", "zcdp_compose", "zcdp_to_dp"]
+
+
+def zcdp_gaussian(sigma: float, sensitivity: float = 1.0) -> float:
+    """rho of one Gaussian-mechanism release: ``sensitivity^2 / (2 sigma^2)``."""
+    check_positive(sigma, "sigma")
+    check_positive(sensitivity, "sensitivity")
+    return sensitivity**2 / (2.0 * sigma**2)
+
+
+def zcdp_compose(rhos) -> float:
+    """Sequential composition under zCDP is additive in rho."""
+    rhos = list(rhos)
+    if any(r < 0 for r in rhos):
+        raise ValueError("rho values must be non-negative")
+    return float(sum(rhos))
+
+
+def zcdp_to_dp(rho: float, delta: float) -> float:
+    """Convert ``rho``-zCDP to ``(epsilon, delta)``-DP (Bun & Steinke 2016).
+
+    ``epsilon = rho + 2 sqrt(rho * log(1/delta))``.
+    """
+    if rho < 0:
+        raise ValueError("rho must be non-negative")
+    check_probability(delta, "delta")
+    if delta <= 0:
+        raise ValueError("delta must be in (0, 1)")
+    return rho + 2.0 * math.sqrt(rho * math.log(1.0 / delta))

@@ -1,0 +1,65 @@
+"""Norm clipping utilities.
+
+Clipping bounds the sensitivity of data-dependent quantities:
+
+- per-example gradient clipping for DP-SGD (Abadi et al., Section II-D),
+- row-norm clipping used before DP-PCA and DP-EM so that each record's
+  contribution to covariance / sufficient statistics has sensitivity at most 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip_by_l2_norm", "clip_rows", "per_example_clip"]
+
+
+def clip_by_l2_norm(vector: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``vector`` so its L2 norm is at most ``max_norm`` (psi_C in the paper)."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = np.linalg.norm(vector)
+    if norm <= max_norm or norm == 0.0:
+        return vector
+    return vector * (max_norm / norm)
+
+
+def clip_rows(X: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+    """Clip every row of ``X`` to L2 norm at most ``max_norm`` (vectorised)."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    X = np.asarray(X, dtype=np.float64)
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+    return X * scale
+
+
+def per_example_clip(grad_samples: list, max_norm: float) -> list:
+    """Clip the concatenated per-example gradient of each example to ``max_norm``.
+
+    ``grad_samples`` is a list of arrays, one per parameter, each of shape
+    ``(batch, *param_shape)``.  The clipping norm is computed over the full
+    per-example gradient (all parameters concatenated), exactly as DP-SGD
+    requires, and the same scaling factor is applied to every parameter's
+    slice for that example.
+
+    Returns a list of clipped arrays with the same shapes.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    if not grad_samples:
+        return []
+    batch = grad_samples[0].shape[0]
+    squared = np.zeros(batch)
+    for g in grad_samples:
+        if g.shape[0] != batch:
+            raise ValueError("inconsistent batch dimension across grad samples")
+        squared += (g.reshape(batch, -1) ** 2).sum(axis=1)
+    norms = np.sqrt(squared)
+    scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+    clipped = []
+    for g in grad_samples:
+        shape = (batch,) + (1,) * (g.ndim - 1)
+        clipped.append(g * scale.reshape(shape))
+    return clipped

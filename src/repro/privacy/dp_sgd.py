@@ -1,0 +1,121 @@
+"""Differentially private stochastic gradient descent (Abadi et al., 2016).
+
+The optimizer consumes the per-example gradients captured by
+:func:`repro.nn.grad_sample_mode`, clips each example's full gradient to L2
+norm ``max_grad_norm`` (the paper's ``psi_C``), sums the clipped gradients,
+adds Gaussian noise ``N(0, sigma^2 C^2 I)`` and averages over the (expected)
+batch size, then delegates the descent step to a wrapped base optimizer
+(plain SGD or Adam).
+
+A :class:`DPSGD` instance also tracks the number of noisy steps it has taken so
+callers can query the privacy spent through the RDP accountant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.optim import Optimizer, SGD
+from repro.privacy.accounting.calibration import dp_sgd_epsilon
+from repro.privacy.clipping import per_example_clip
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["DPSGD"]
+
+
+class DPSGD:
+    """Per-example clipping + Gaussian noise wrapper around a base optimizer.
+
+    Parameters
+    ----------
+    params:
+        Iterable of :class:`repro.nn.Parameter` being trained.
+    noise_multiplier:
+        ``sigma_s``; the Gaussian noise added to the summed clipped gradients
+        has standard deviation ``noise_multiplier * max_grad_norm``.
+    max_grad_norm:
+        Clipping bound ``C``.
+    expected_batch_size:
+        ``B``; the noisy gradient sum is divided by this value, matching
+        Algorithm 1 line 10 in the paper.
+    sample_rate:
+        Probability that any given record participates in a batch (``B/N``);
+        used only for privacy accounting.
+    base_optimizer:
+        Optional :class:`repro.nn.Optimizer` taking the final step; defaults to
+        plain SGD with learning rate ``lr``.
+    """
+
+    def __init__(
+        self,
+        params,
+        noise_multiplier: float,
+        max_grad_norm: float,
+        expected_batch_size: int,
+        sample_rate: Optional[float] = None,
+        base_optimizer: Optional[Optimizer] = None,
+        lr: float = 0.001,
+        rng=None,
+    ):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("DPSGD received an empty parameter list")
+        check_positive(noise_multiplier, "noise_multiplier")
+        check_positive(max_grad_norm, "max_grad_norm")
+        check_positive(expected_batch_size, "expected_batch_size")
+        if sample_rate is not None:
+            check_probability(sample_rate, "sample_rate")
+        self.noise_multiplier = noise_multiplier
+        self.max_grad_norm = max_grad_norm
+        self.expected_batch_size = int(expected_batch_size)
+        self.sample_rate = sample_rate
+        self.base_optimizer = base_optimizer or SGD(self.params, lr=lr)
+        self._rng = as_generator(rng)
+        self.steps_taken = 0
+
+    # -- optimisation -------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Clip, noise, average, and apply one gradient step.
+
+        Must be called after a backward pass executed inside
+        ``with grad_sample_mode():`` so every parameter has ``grad_sample``.
+        """
+        grad_samples = []
+        for p in self.params:
+            if p.grad_sample is None:
+                raise RuntimeError(
+                    "parameter has no per-example gradient; run the backward pass "
+                    "inside repro.nn.grad_sample_mode()"
+                )
+            grad_samples.append(p.grad_sample)
+
+        clipped = per_example_clip(grad_samples, self.max_grad_norm)
+        noise_std = self.noise_multiplier * self.max_grad_norm
+        private_grads = []
+        for g in clipped:
+            summed = g.sum(axis=0)
+            noisy = summed + self._rng.normal(0.0, noise_std, size=summed.shape)
+            private_grads.append(noisy / self.expected_batch_size)
+
+        self.base_optimizer.apply_gradients(private_grads)
+        self.steps_taken += 1
+        self.zero_grad()
+
+    # -- accounting -----------------------------------------------------------------
+
+    def privacy_spent(self, delta: float, steps: Optional[int] = None) -> float:
+        """Epsilon spent after ``steps`` (default: steps taken so far)."""
+        if self.sample_rate is None:
+            raise ValueError("sample_rate must be provided to account privacy")
+        steps = self.steps_taken if steps is None else steps
+        if steps == 0:
+            return 0.0
+        return dp_sgd_epsilon(self.noise_multiplier, self.sample_rate, steps, delta)

@@ -1,0 +1,18 @@
+"""Shared utilities: random-number handling, validation helpers, logging."""
+
+from repro.utils.rng import as_generator, check_random_state
+from repro.utils.validation import (
+    check_array,
+    check_X_y,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "check_random_state",
+    "check_array",
+    "check_X_y",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,39 @@
+"""Lightweight experiment logging.
+
+The training loops record per-epoch diagnostics (losses, privacy spent,
+downstream scores) into a :class:`TrainingHistory` so that the learning-curve
+experiments (Figure 7 in the paper) can be regenerated without re-running
+training inside plotting code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Append-only container of per-step metric records."""
+
+    records: list = field(default_factory=list)
+
+    def log(self, **metrics) -> None:
+        """Append one record of named metric values."""
+        self.records.append(dict(metrics))
+
+    def series(self, key: str) -> list:
+        """Return the values logged under ``key``, in order of logging."""
+        return [r[key] for r in self.records if key in r]
+
+    def last(self, key: str, default=None):
+        """Return the most recent value logged under ``key``."""
+        values = self.series(key)
+        return values[-1] if values else default
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

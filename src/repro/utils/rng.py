@@ -1,0 +1,44 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts a ``random_state`` argument
+that may be ``None``, an integer seed, or a :class:`numpy.random.Generator`.
+These helpers normalise the three forms into a single ``Generator`` so that
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "check_random_state", "spawn"]
+
+
+def as_generator(random_state=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing
+        ``numpy.random.Generator`` (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy.random.Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+# Alias kept for familiarity with the scikit-learn naming convention.
+check_random_state = as_generator
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators."""
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,52 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_array", "check_X_y", "check_positive", "check_probability"]
+
+
+def check_array(X, name: str = "X", ndim: int = 2, dtype=np.float64) -> np.ndarray:
+    """Validate and convert an array-like input.
+
+    Ensures the input is a finite numeric array with the expected number of
+    dimensions and returns a contiguous copy with the requested dtype.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional; got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_X_y(X, y, name_x: str = "X", name_y: str = "y"):
+    """Validate a feature matrix and label vector of matching length."""
+    X = check_array(X, name=name_x, ndim=2)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"{name_y} must be 1-dimensional; got shape {y.shape}")
+    if len(X) != len(y):
+        raise ValueError(
+            f"{name_x} and {name_y} have inconsistent lengths: {len(X)} vs {len(y)}"
+        )
+    return X, y
+
+
+def check_positive(value, name: str, strict: bool = True):
+    """Raise if ``value`` is not a positive (or non-negative) scalar."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0; got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0; got {value!r}")
+    return value
+
+
+def check_probability(value, name: str):
+    """Raise if ``value`` is not in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]; got {value!r}")
+    return value

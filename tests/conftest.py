@@ -1,0 +1,21 @@
+"""Shared pytest fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy Generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_binary_dataset(rng):
+    """A small, linearly separable-ish binary dataset (X, y)."""
+    n, d = 200, 6
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    logits = X @ w + 0.25 * rng.normal(size=n)
+    y = (logits > 0).astype(int)
+    return X, y

@@ -1,0 +1,135 @@
+"""Tests for the dataset simulators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_REGISTRY,
+    Dataset,
+    dataset_summaries,
+    load_dataset,
+    make_adult,
+    make_credit,
+    make_esr,
+    make_fashion_mnist,
+    make_isolet,
+    make_mnist,
+)
+from repro.ml import LogisticRegression, accuracy_score, roc_auc_score
+
+
+EXPECTED_SHAPES = {
+    "credit": (29, 2),
+    "adult": (15, 2),
+    "isolet": (617, 2),
+    "esr": (179, 2),
+    "mnist": (784, 10),
+    "fashion_mnist": (784, 10),
+}
+
+
+class TestShapesAndBalance:
+    @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
+    def test_dimensions_match_paper(self, name):
+        data = load_dataset(name, n_samples=600, random_state=0)
+        expected_features, expected_classes = EXPECTED_SHAPES[name]
+        assert data.n_features == expected_features
+        assert data.n_classes == expected_classes
+        assert data.n_samples == 600
+
+    @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
+    def test_features_in_unit_interval(self, name):
+        data = load_dataset(name, n_samples=400, random_state=0)
+        for split in (data.X_train, data.X_test):
+            assert split.min() >= 0.0 and split.max() <= 1.0
+
+    def test_credit_is_heavily_imbalanced(self):
+        data = make_credit(n_samples=20000, random_state=0)
+        assert data.positive_rate < 0.01
+
+    def test_adult_positive_rate_near_paper(self):
+        data = make_adult(n_samples=8000, random_state=0)
+        assert 0.15 < data.positive_rate < 0.35
+
+    def test_isolet_and_esr_positive_rates(self):
+        assert 0.12 < make_isolet(2000, random_state=0).positive_rate < 0.27
+        assert 0.12 < make_esr(2000, random_state=0).positive_rate < 0.28
+
+    def test_image_classes_roughly_balanced(self):
+        data = make_mnist(n_samples=2000, random_state=0)
+        counts = np.bincount(np.concatenate([data.y_train, data.y_test]))
+        assert counts.min() > 0.5 * counts.max()
+
+    def test_split_is_stratified_and_ninety_ten(self):
+        data = make_credit(n_samples=10000, random_state=0)
+        assert len(data.X_test) == pytest.approx(0.1 * data.n_samples, rel=0.1)
+        assert data.y_test.sum() >= 1  # rare positives present in the test split
+
+
+class TestReproducibilityAndRegistry:
+    def test_same_seed_same_data(self):
+        a = make_esr(500, random_state=42)
+        b = make_esr(500, random_state=42)
+        np.testing.assert_allclose(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seed_different_data(self):
+        a = make_esr(500, random_state=1)
+        b = make_esr(500, random_state=2)
+        assert not np.allclose(a.X_train[: len(b.X_train)], b.X_train[: len(a.X_train)])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("census2020")
+
+    def test_summaries_cover_all_datasets(self):
+        rows = dataset_summaries(n_samples=300)
+        assert {row["name"] for row in rows} == set(DATASET_REGISTRY)
+        for row in rows:
+            assert row["n_samples"] == 300
+
+    def test_dataset_summary_binary_field(self):
+        data = make_adult(500, random_state=0)
+        assert "positive_rate" in data.summary()
+        image = make_mnist(300, random_state=0)
+        assert "positive_rate" not in image.summary()
+
+    def test_positive_rate_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            make_mnist(300, random_state=0).positive_rate
+
+
+class TestLearnability:
+    """The simulators must be learnable: real-data classifiers set the paper's
+    'original' reference scores, so a classifier trained on the real simulated
+    data has to beat chance comfortably."""
+
+    @pytest.mark.parametrize("maker", [make_adult, make_esr, make_isolet])
+    def test_binary_datasets_learnable(self, maker):
+        data = maker(2500, random_state=0)
+        model = LogisticRegression(n_iter=200, random_state=0).fit(data.X_train, data.y_train)
+        scores = model.predict_proba(data.X_test)[:, 1]
+        assert roc_auc_score(data.y_test, scores) > 0.7
+
+    def test_credit_learnable(self):
+        data = make_credit(n_samples=30000, random_state=0)
+        model = LogisticRegression(n_iter=200, random_state=0).fit(data.X_train, data.y_train)
+        scores = model.predict_proba(data.X_test)[:, 1]
+        assert roc_auc_score(data.y_test, scores) > 0.8
+
+    def test_images_learnable(self):
+        data = make_mnist(n_samples=1500, random_state=0)
+        model = LogisticRegression(n_iter=150, learning_rate=0.5, random_state=0).fit(
+            data.X_train, data.y_train
+        )
+        accuracy = accuracy_score(data.y_test, model.predict(data.X_test))
+        assert accuracy > 0.6  # 10 classes, chance is 0.1
+
+    def test_image_classes_distinct(self):
+        data = make_fashion_mnist(n_samples=1000, random_state=0)
+        means = np.stack(
+            [data.X_train[data.y_train == k].mean(axis=0) for k in range(10)]
+        )
+        distances = np.linalg.norm(means[:, None, :] - means[None, :, :], axis=2)
+        off_diagonal = distances[~np.eye(10, dtype=bool)]
+        assert off_diagonal.min() > 0.5

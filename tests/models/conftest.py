@@ -1,0 +1,20 @@
+"""Shared fixtures for model tests: a small labelled dataset in [0, 1]."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def toy_labeled_data():
+    """Two well-separated classes of 30-dimensional data scaled to [0, 1]."""
+    rng = np.random.default_rng(7)
+    n, d = 500, 30
+    centers = np.vstack([np.full(d, 0.3), np.full(d, 0.7)])
+    y = rng.integers(0, 2, n)
+    X = np.clip(centers[y] + 0.08 * rng.normal(size=(n, d)), 0.0, 1.0)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def toy_unlabeled_data(toy_labeled_data):
+    return toy_labeled_data[0]

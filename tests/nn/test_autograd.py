@@ -1,0 +1,224 @@
+"""Numerical gradient checks and behavioural tests for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, grad_sample_mode, no_grad
+from repro.nn import functional as F
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference numerical gradient of scalar fn at ndarray x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = fn(x)
+        x[idx] = orig - eps
+        f_minus = fn(x)
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(op, x_data, atol=1e-5):
+    """Compare autograd gradient of sum(op(x)) against numerical gradient."""
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    analytic = x.grad
+
+    def scalar_fn(arr):
+        return op(Tensor(arr)).sum().item()
+
+    numeric = numerical_grad(scalar_fn, x_data.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.x = self.rng.normal(size=(4, 5))
+
+    def test_add(self):
+        check_grad(lambda t: t + 3.0, self.x)
+
+    def test_mul(self):
+        check_grad(lambda t: t * 2.5, self.x)
+
+    def test_sub(self):
+        check_grad(lambda t: 1.0 - t, self.x)
+
+    def test_div(self):
+        check_grad(lambda t: t / 3.0, self.x)
+
+    def test_rdiv(self):
+        check_grad(lambda t: 2.0 / t, self.x + 3.0)
+
+    def test_pow(self):
+        check_grad(lambda t: t**3, self.x)
+
+    def test_exp(self):
+        check_grad(lambda t: t.exp(), self.x)
+
+    def test_log(self):
+        check_grad(lambda t: t.log(), np.abs(self.x) + 0.5)
+
+    def test_sqrt(self):
+        check_grad(lambda t: t.sqrt(), np.abs(self.x) + 0.5)
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh(), self.x)
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid(), self.x)
+
+    def test_relu(self):
+        # Shift away from 0 to avoid the kink in numerical differentiation.
+        check_grad(lambda t: t.relu(), self.x + 0.3 * np.sign(self.x))
+
+    def test_softplus(self):
+        check_grad(lambda t: t.softplus(), self.x)
+
+    def test_neg(self):
+        check_grad(lambda t: -t, self.x)
+
+    def test_clip(self):
+        check_grad(lambda t: t.clip(-0.5, 0.5), self.x + 0.05)
+
+
+class TestReductionsAndShapes:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+        self.x = self.rng.normal(size=(3, 4))
+
+    def test_sum_axis(self):
+        check_grad(lambda t: t.sum(axis=0), self.x)
+        check_grad(lambda t: t.sum(axis=1), self.x)
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean(axis=1), self.x)
+
+    def test_reshape(self):
+        check_grad(lambda t: t.reshape(4, 3) * 2.0, self.x)
+
+    def test_transpose(self):
+        check_grad(lambda t: t.T @ Tensor(np.ones((3, 2))), self.x)
+
+    def test_getitem(self):
+        check_grad(lambda t: t[1:, :2] * 3.0, self.x)
+
+    def test_max(self):
+        x = self.x + np.arange(12).reshape(3, 4) * 0.01  # break ties
+        check_grad(lambda t: t.max(axis=1), x)
+
+    def test_concatenate(self):
+        a = Tensor(self.x, requires_grad=True)
+        b = Tensor(self.x * 2, requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(self.x))
+        np.testing.assert_allclose(b.grad, np.ones_like(self.x))
+
+
+class TestMatmulAndBroadcast:
+    def test_matmul_grad(self):
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(3, 4))
+        B = rng.normal(size=(4, 2))
+        a = Tensor(A, requires_grad=True)
+        b = Tensor(B, requires_grad=True)
+        out = (a @ b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ B.T)
+        np.testing.assert_allclose(b.grad, A.T @ np.ones((3, 2)))
+
+    def test_broadcast_add(self):
+        x = Tensor(np.ones((5, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        out = (x + b).sum()
+        out.backward()
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, np.full(3, 5.0))
+
+    def test_broadcast_mul_keepdim(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        s = Tensor(np.full((1, 3), 2.0), requires_grad=True)
+        out = (x * s).sum()
+        out.backward()
+        assert s.grad.shape == (1, 3)
+        np.testing.assert_allclose(s.grad, np.full((1, 3), 4.0))
+
+
+class TestGraphBehaviour:
+    def test_grad_accumulates_over_multiple_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_requires_grad(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_diamond_graph(self):
+        # f = (x*2) + (x*3); df/dx = 5
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+
+class TestAffinePerExampleGradients:
+    def test_grad_sample_matches_loop(self):
+        rng = np.random.default_rng(3)
+        B, din, dout = 6, 4, 3
+        X = rng.normal(size=(B, din))
+        W = rng.normal(size=(din, dout))
+        bvec = rng.normal(size=dout)
+
+        w = Tensor(W, requires_grad=True)
+        b = Tensor(bvec, requires_grad=True)
+        x = Tensor(X)
+        with grad_sample_mode():
+            out = x.affine(w, b)
+            loss = (out**2).sum()
+            loss.backward()
+
+        assert w.grad_sample.shape == (B, din, dout)
+        assert b.grad_sample.shape == (B, dout)
+
+        # Per-example gradients must match a per-example loop.
+        for i in range(B):
+            wi = Tensor(W, requires_grad=True)
+            bi = Tensor(bvec, requires_grad=True)
+            xi = Tensor(X[i : i + 1])
+            (xi.affine(wi, bi) ** 2).sum().backward()
+            np.testing.assert_allclose(w.grad_sample[i], wi.grad, atol=1e-10)
+            np.testing.assert_allclose(b.grad_sample[i], bi.grad, atol=1e-10)
+
+        # Aggregate grad equals the sum of per-example gradients.
+        np.testing.assert_allclose(w.grad, w.grad_sample.sum(axis=0), atol=1e-10)
+        np.testing.assert_allclose(b.grad, b.grad_sample.sum(axis=0), atol=1e-10)
+
+    def test_grad_sample_disabled_by_default(self):
+        w = Tensor(np.ones((2, 2)), requires_grad=True)
+        x = Tensor(np.ones((3, 2)))
+        x.affine(w).sum().backward()
+        assert w.grad_sample is None

@@ -1,0 +1,260 @@
+"""Tests for the RDP / moments / zCDP accountants and the P3GM composition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.accounting import (
+    DEFAULT_ALPHAS,
+    P3GMAccountant,
+    PipelineBudget,
+    RDPAccountant,
+    baseline_p3gm_epsilon,
+    calibrate_dp_sgd_sigma,
+    dp_em_moment_bound,
+    dp_sgd_epsilon,
+    dp_sgd_moment_bound,
+    moment_to_rdp,
+    moments_epsilon,
+    rdp_from_pure_dp,
+    rdp_gaussian,
+    rdp_subsampled_gaussian,
+    rdp_to_dp,
+    sequential_composition,
+    zcdp_compose,
+    zcdp_gaussian,
+    zcdp_to_dp,
+)
+
+
+class TestRDPPrimitives:
+    def test_gaussian_rdp_formula(self):
+        assert rdp_gaussian(2.0, 10) == pytest.approx(10 / 8.0)
+
+    def test_pure_dp_rdp_formula(self):
+        # Small order: the paper's 2*alpha*eps^2 expression applies.
+        assert rdp_from_pure_dp(0.1, 4) == pytest.approx(2 * 4 * 0.01)
+        # Large order: capped at epsilon (Renyi divergence <= max divergence).
+        assert rdp_from_pure_dp(0.1, 100) == pytest.approx(0.1)
+
+    def test_subsampled_reduces_to_gaussian_at_q1(self):
+        assert rdp_subsampled_gaussian(1.0, 2.0, 8) == pytest.approx(rdp_gaussian(2.0, 8))
+
+    def test_subsampled_zero_rate_is_free(self):
+        assert rdp_subsampled_gaussian(0.0, 1.0, 8) == 0.0
+
+    def test_subsampling_amplifies_privacy(self):
+        # Subsampled RDP must be far below the unsampled Gaussian RDP.
+        full = rdp_gaussian(1.5, 16)
+        sub = rdp_subsampled_gaussian(0.01, 1.5, 16)
+        assert sub < 0.1 * full
+
+    def test_subsampled_monotone_in_q(self):
+        values = [rdp_subsampled_gaussian(q, 1.5, 8) for q in (0.001, 0.01, 0.1, 0.5)]
+        assert values == sorted(values)
+
+    def test_subsampled_monotone_in_sigma(self):
+        values = [rdp_subsampled_gaussian(0.01, s, 8) for s in (4.0, 2.0, 1.0, 0.6)]
+        assert values == sorted(values)
+
+    def test_subsampled_requires_integer_alpha(self):
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(0.01, 1.0, 2.5)
+
+    def test_rdp_to_dp_picks_minimum(self):
+        alphas = [2, 4, 8]
+        rdp = [1.0, 0.2, 0.5]
+        eps, alpha = rdp_to_dp(rdp, alphas, delta=1e-5)
+        expected = min(r + math.log(1e5) / (a - 1) for r, a in zip(rdp, alphas))
+        assert eps == pytest.approx(expected)
+        assert alpha in alphas
+
+
+class TestRDPAccountant:
+    def test_composition_is_additive(self):
+        acc = RDPAccountant(alphas=(2, 4, 8))
+        acc.compose_gaussian(2.0, count=3)
+        np.testing.assert_allclose(
+            acc.get_rdp(), [3 * rdp_gaussian(2.0, a) for a in (2, 4, 8)]
+        )
+
+    def test_epsilon_grows_with_steps(self):
+        eps = []
+        for steps in (10, 100, 1000):
+            acc = RDPAccountant()
+            acc.compose_subsampled_gaussian(0.01, 1.5, steps)
+            eps.append(acc.get_epsilon(1e-5)[0])
+        assert eps[0] < eps[1] < eps[2]
+
+    def test_heterogeneous_composition(self):
+        acc = RDPAccountant(alphas=(2, 8, 32))
+        acc.compose_pure_dp(0.1)
+        acc.compose_gaussian(5.0, count=2)
+        eps, _ = acc.get_epsilon(1e-5)
+        assert eps > 0
+
+    def test_rejects_bad_alphas(self):
+        with pytest.raises(ValueError):
+            RDPAccountant(alphas=(1, 2))
+
+
+class TestMomentsAccountant:
+    def test_dp_em_bound_formula(self):
+        assert dp_em_moment_bound(3, 10.0, 4) == pytest.approx(7 * 20 / 200.0)
+
+    def test_dp_sgd_bound_positive_and_monotone_in_lambda(self):
+        values = [dp_sgd_moment_bound(0.01, 2.0, lam) for lam in (2, 4, 8, 16)]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values)
+
+    def test_dp_sgd_bound_overflows_to_inf_not_error(self):
+        import math
+
+        assert dp_sgd_moment_bound(0.01, 1.0, 200) == math.inf
+
+    def test_dp_sgd_bound_decreases_with_sigma(self):
+        assert dp_sgd_moment_bound(0.01, 4.0, 4) < dp_sgd_moment_bound(0.01, 1.0, 4)
+
+    def test_moment_to_rdp(self):
+        order, eps = moment_to_rdp(0.5, 4)
+        assert order == 5
+        assert eps == pytest.approx(0.125)
+
+    def test_moments_epsilon_conversion(self):
+        lams = [1, 2, 4]
+        total = [0.01, 0.05, 0.3]
+        eps, lam = moments_epsilon(total, lams, 1e-5)
+        expected = min((m + math.log(1e5)) / l for m, l in zip(total, lams))
+        assert eps == pytest.approx(expected)
+        assert lam in lams
+
+
+class TestZCDP:
+    def test_gaussian_rho(self):
+        assert zcdp_gaussian(2.0) == pytest.approx(1 / 8.0)
+
+    def test_compose(self):
+        assert zcdp_compose([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_to_dp(self):
+        rho = 0.05
+        eps = zcdp_to_dp(rho, 1e-5)
+        assert eps == pytest.approx(rho + 2 * math.sqrt(rho * math.log(1e5)))
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(ValueError):
+            zcdp_to_dp(-0.1, 1e-5)
+
+
+class TestSequentialComposition:
+    def test_adds_up(self):
+        eps, delta = sequential_composition([0.5, 0.3], [1e-6, 1e-6])
+        assert eps == pytest.approx(0.8)
+        assert delta == pytest.approx(2e-6)
+
+    def test_pure_dp_default(self):
+        eps, delta = sequential_composition([0.5, 0.5])
+        assert delta == 0.0
+
+
+class TestDPSGDCalibration:
+    def test_epsilon_monotone_in_sigma(self):
+        e1 = dp_sgd_epsilon(1.0, 0.01, 500, 1e-5)
+        e2 = dp_sgd_epsilon(2.0, 0.01, 500, 1e-5)
+        assert e2 < e1
+
+    def test_calibration_meets_target(self):
+        sigma = calibrate_dp_sgd_sigma(1.0, 0.01, 500, 1e-5)
+        assert dp_sgd_epsilon(sigma, 0.01, 500, 1e-5) <= 1.0 + 1e-6
+        # And it is not wastefully large: slightly less noise must exceed the target.
+        assert dp_sgd_epsilon(sigma * 0.95, 0.01, 500, 1e-5) > 1.0
+
+    def test_calibration_unreachable_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_dp_sgd_sigma(1e-9, 0.5, 10000, 1e-5, high=5.0)
+
+
+class TestP3GMAccountant:
+    def make_accountant(self, **overrides):
+        params = dict(
+            epsilon_pca=0.1,
+            sigma_em=100.0,
+            em_iterations=20,
+            n_components=3,
+            sigma_sgd=1.5,
+            sample_rate=240 / 63000,
+            sgd_steps=2620,
+        )
+        params.update(overrides)
+        return P3GMAccountant(**params)
+
+    def test_epsilon_positive_and_finite(self):
+        acc = self.make_accountant()
+        eps = acc.epsilon(1e-5)
+        assert 0 < eps < 50
+
+    def test_rdp_composition_tighter_than_baseline(self):
+        """Reproduces the qualitative claim of Figure 6: RDP < zCDP + MA."""
+        for sigma in (1.0, 1.5, 2.0, 4.0):
+            acc = self.make_accountant(sigma_sgd=sigma)
+            assert acc.epsilon(1e-5) < acc.epsilon_baseline(1e-5)
+
+    def test_paper_eq4_accounting_is_looser_but_finite(self):
+        tight = self.make_accountant()
+        loose = self.make_accountant(sgd_accounting="paper_eq4")
+        assert tight.epsilon(1e-5) <= loose.epsilon(1e-5)
+        assert loose.epsilon(1e-5) < 100
+
+    def test_invalid_sgd_accounting_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_accountant(sgd_accounting="bogus")
+
+    def test_epsilon_decreases_with_more_noise(self):
+        eps = [self.make_accountant(sigma_sgd=s).epsilon(1e-5) for s in (1.0, 2.0, 4.0, 8.0)]
+        assert eps == sorted(eps, reverse=True)
+
+    def test_epsilon_increases_with_steps(self):
+        e_few = self.make_accountant(sgd_steps=100).epsilon(1e-5)
+        e_many = self.make_accountant(sgd_steps=5000).epsilon(1e-5)
+        assert e_few < e_many
+
+    def test_components_can_be_disabled(self):
+        acc = self.make_accountant(em_iterations=0, sgd_steps=0)
+        eps = acc.epsilon(1e-5)
+        # Only the PCA term and the delta conversion remain.
+        assert eps < 2.0
+
+    def test_calibrate_sigma_sgd_hits_target(self):
+        acc = self.make_accountant()
+        sigma = acc.calibrate_sigma_sgd(1.0, 1e-5)
+        acc.sigma_sgd = sigma
+        assert acc.epsilon(1e-5) <= 1.0 + 1e-3
+
+    def test_calibrate_sigma_em_hits_target(self):
+        acc = self.make_accountant(sigma_sgd=2.0)
+        sigma_em = acc.calibrate_sigma_em(1.5, 1e-5)
+        acc.sigma_em = sigma_em
+        assert acc.epsilon(1e-5) <= 1.5 + 1e-3
+
+    def test_calibrate_restores_state_on_failure(self):
+        acc = self.make_accountant(epsilon_pca=5.0)  # PCA alone blows the budget
+        original = acc.sigma_sgd
+        with pytest.raises(ValueError):
+            acc.calibrate_sigma_sgd(0.5, 1e-5)
+        assert acc.sigma_sgd == original
+
+    def test_epsilon_with_order_reports_valid_alpha(self):
+        acc = self.make_accountant()
+        eps, alpha = acc.epsilon_with_order(1e-5)
+        assert 2 <= alpha <= acc.max_order
+        assert eps == pytest.approx(acc.epsilon(1e-5))
+
+    def test_baseline_budget_validation(self):
+        with pytest.raises(ValueError):
+            PipelineBudget(-1.0, 1.0, 10, 3, 1.0, 0.1, 10)
+
+    def test_baseline_requires_valid_delta(self):
+        budget = PipelineBudget(0.1, 10.0, 10, 3, 1.5, 0.01, 100)
+        with pytest.raises(ValueError):
+            baseline_p3gm_epsilon(budget, 0.0)

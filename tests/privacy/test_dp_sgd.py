@@ -1,0 +1,133 @@
+"""Tests for the DP-SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, SGD, Tensor, grad_sample_mode
+from repro.nn import functional as F
+from repro.privacy import DPSGD
+
+
+def make_model_and_data(seed=0, n=64, d=4):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=(d, 1))
+    y = X @ w
+    model = MLP(d, (8,), 1, rng=seed)
+    return model, X, y
+
+
+class TestDPSGDMechanics:
+    def test_step_requires_grad_sample(self):
+        model, X, y = make_model_and_data()
+        opt = DPSGD(model.parameters(), noise_multiplier=1.0, max_grad_norm=1.0, expected_batch_size=64)
+        loss = F.mse_loss(model(Tensor(X)), y, reduction="sum")
+        loss.backward()
+        with pytest.raises(RuntimeError):
+            opt.step()
+
+    def test_step_updates_parameters(self):
+        model, X, y = make_model_and_data()
+        params = list(model.parameters())
+        before = [p.data.copy() for p in params]
+        opt = DPSGD(params, noise_multiplier=0.5, max_grad_norm=1.0, expected_batch_size=64, lr=0.1, rng=0)
+        with grad_sample_mode():
+            loss = F.mse_loss(model(Tensor(X)), y, reduction="sum")
+            loss.backward()
+        opt.step()
+        assert any(not np.allclose(b, p.data) for b, p in zip(before, params))
+        assert opt.steps_taken == 1
+
+    def test_grad_samples_cleared_after_step(self):
+        model, X, y = make_model_and_data()
+        opt = DPSGD(model.parameters(), noise_multiplier=0.5, max_grad_norm=1.0, expected_batch_size=64, rng=0)
+        with grad_sample_mode():
+            F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+        opt.step()
+        assert all(p.grad_sample is None for p in opt.params)
+
+    def test_noisy_gradient_close_to_clipped_mean_with_tiny_noise(self):
+        """With near-zero noise, the DP-SGD update direction equals clipped-mean SGD."""
+        model, X, y = make_model_and_data(seed=1)
+        params = list(model.parameters())
+
+        # Reference: per-example clipped mean computed manually.
+        with grad_sample_mode():
+            F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+        from repro.privacy.clipping import per_example_clip
+
+        clipped = per_example_clip([p.grad_sample for p in params], 1.0)
+        reference = [c.sum(axis=0) / 64 for c in clipped]
+        for p in params:
+            p.zero_grad()
+
+        opt = DPSGD(
+            params,
+            noise_multiplier=1e-8,
+            max_grad_norm=1.0,
+            expected_batch_size=64,
+            base_optimizer=SGD(params, lr=1.0),
+            rng=0,
+        )
+        before = [p.data.copy() for p in params]
+        with grad_sample_mode():
+            F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+        opt.step()
+        for b, p, ref in zip(before, params, reference):
+            np.testing.assert_allclose(b - p.data, ref, atol=1e-5)
+
+    def test_privacy_spent_accumulates(self):
+        model, X, y = make_model_and_data()
+        opt = DPSGD(
+            model.parameters(),
+            noise_multiplier=1.5,
+            max_grad_norm=1.0,
+            expected_batch_size=16,
+            sample_rate=0.25,
+            rng=0,
+        )
+        assert opt.privacy_spent(1e-5) == 0.0
+        for _ in range(3):
+            with grad_sample_mode():
+                F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+            opt.step()
+        eps3 = opt.privacy_spent(1e-5)
+        eps10 = opt.privacy_spent(1e-5, steps=10)
+        assert 0 < eps3 < eps10
+
+    def test_privacy_spent_requires_sample_rate(self):
+        model, X, y = make_model_and_data()
+        opt = DPSGD(model.parameters(), noise_multiplier=1.0, max_grad_norm=1.0, expected_batch_size=8)
+        with pytest.raises(ValueError):
+            opt.privacy_spent(1e-5)
+
+    def test_invalid_constructor_args(self):
+        model, _, _ = make_model_and_data()
+        with pytest.raises(ValueError):
+            DPSGD([], 1.0, 1.0, 8)
+        with pytest.raises(ValueError):
+            DPSGD(model.parameters(), 0.0, 1.0, 8)
+        with pytest.raises(ValueError):
+            DPSGD(model.parameters(), 1.0, -1.0, 8)
+
+
+class TestDPSGDLearning:
+    def test_dp_sgd_still_learns_with_moderate_noise(self):
+        """DP-SGD with moderate noise should still reduce the loss on easy data."""
+        model, X, y = make_model_and_data(seed=2, n=256)
+        opt = DPSGD(
+            model.parameters(),
+            noise_multiplier=0.5,
+            max_grad_norm=1.0,
+            expected_batch_size=256,
+            lr=0.5,
+            rng=3,
+        )
+        losses = []
+        for _ in range(60):
+            with grad_sample_mode():
+                loss = F.mse_loss(model(Tensor(X)), y, reduction="sum")
+                loss.backward()
+            losses.append(loss.item() / len(X))
+            opt.step()
+        assert np.mean(losses[-10:]) < 0.5 * np.mean(losses[:10])

@@ -1,0 +1,77 @@
+"""Tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_generator, check_array, check_positive, check_probability, check_X_y
+from repro.utils.logging import TrainingHistory
+from repro.utils.rng import spawn
+
+
+class TestRNG:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_spawn_children_independent(self):
+        children = spawn(np.random.default_rng(0), 3)
+        assert len(children) == 3
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+
+class TestValidation:
+    def test_check_array_accepts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.shape == (2, 2) and out.dtype == np.float64
+
+    def test_check_array_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array(np.array([[1.0, np.nan]]))
+
+    def test_check_array_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_array(np.ones(3))
+
+    def test_check_array_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.empty((0, 3)))
+
+    def test_check_X_y_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((3, 2)), np.ones(4))
+
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+
+class TestTrainingHistory:
+    def test_log_and_series(self):
+        history = TrainingHistory()
+        history.log(epoch=0, loss=1.0)
+        history.log(epoch=1, loss=0.5, extra="x")
+        assert history.series("loss") == [1.0, 0.5]
+        assert history.last("loss") == 0.5
+        assert history.last("missing", default=-1) == -1
+        assert len(history) == 2
+        assert list(history)[0]["epoch"] == 0
