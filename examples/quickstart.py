@@ -30,6 +30,15 @@ def main() -> None:
     print(f"  DP-SGD noise multiplier: {model.noise_multiplier_:.2f}")
     print(f"  DP-EM noise scale:       {model.sigma_em_:.2f}")
 
+    # The training engine logs the cumulative DP-SGD epsilon alongside the
+    # losses every epoch (repro.engine.PrivacyBudgetTracker), so the budget
+    # consumed by the decoding phase can be inspected after the fact.
+    for record in model.history:
+        print(
+            f"  epoch {record['epoch']}: elbo={record['elbo_loss']:.2f}  "
+            f"dp-sgd epsilon so far={record['epsilon']:.3f}"
+        )
+
     # 3. Release synthetic data with the same label ratio as the training data.
     X_synthetic, y_synthetic = model.sample_labeled(2000, rng=0)
     print(f"released synthetic data: {X_synthetic.shape}, positive rate {y_synthetic.mean():.3f}")

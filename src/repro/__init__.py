@@ -4,6 +4,7 @@ Preserving Phased Generative Model* (Takagi et al., ICDE 2021).
 The package is organised as a layered system:
 
 - :mod:`repro.nn` — numpy autodiff / neural-network substrate (PyTorch stand-in).
+- :mod:`repro.engine` — the shared training subsystem (samplers, callbacks, Trainer).
 - :mod:`repro.privacy` — DP mechanisms, DP-SGD, and Rényi/moments/zCDP accounting.
 - :mod:`repro.decomposition` — PCA and DP-PCA (Wishart mechanism).
 - :mod:`repro.mixture` — Gaussian mixtures, DP-EM, and Gaussian-mixture KL.

@@ -1,0 +1,54 @@
+"""``repro.engine`` — the unified training subsystem.
+
+Every generative model in :mod:`repro.models` trains through one
+:class:`~repro.engine.trainer.Trainer`, which owns the epoch/batch loop, loss
+aggregation, optimizer stepping, and callback dispatch.  The pieces:
+
+- :mod:`repro.engine.samplers` — batch-construction strategies.
+  :class:`ShuffleSampler` permutes the data once per epoch and partitions it
+  into consecutive batches (classic shuffle-and-partition; the default for
+  non-private training).  :class:`PoissonSampler` includes each record in each
+  step independently with probability ``sample_rate`` (the default for DP-SGD
+  training).
+- :mod:`repro.engine.callbacks` — a small hook API (``on_step_end`` /
+  ``on_epoch_end``) with built-ins for history logging, privacy-budget
+  tracking, and ELBO-plateau early stopping.
+- :mod:`repro.engine.trainer` — the :class:`Trainer` itself, with a private
+  mode that runs the backward pass inside
+  :func:`repro.nn.grad_sample_mode` and drives
+  :class:`repro.privacy.DPSGD`.
+
+**Sampler choice vs. accounting assumptions.**  The subsampled-Gaussian RDP
+accountant used by :class:`repro.privacy.DPSGD` (and by
+:class:`~repro.privacy.accounting.P3GMAccountant` for the DP-SGD phase)
+analyzes *Poisson* subsampling: each record enters a batch independently with
+probability ``B/N``.  Shuffle-and-partition batching executes a slightly
+different mechanism, so training with :class:`ShuffleSampler` makes the stated
+epsilon an approximation (a common but imprecise practice).  The private
+models therefore default to :class:`PoissonSampler`, which makes the executed
+mechanism match the analyzed one exactly; pass ``sampler="shuffle"`` to a
+model to recover the legacy behaviour.
+"""
+
+from repro.engine.callbacks import (
+    Callback,
+    EarlyStopping,
+    EpochHook,
+    HistoryLogger,
+    PrivacyBudgetTracker,
+)
+from repro.engine.samplers import BatchSampler, PoissonSampler, ShuffleSampler, make_sampler
+from repro.engine.trainer import Trainer
+
+__all__ = [
+    "BatchSampler",
+    "ShuffleSampler",
+    "PoissonSampler",
+    "make_sampler",
+    "Callback",
+    "HistoryLogger",
+    "PrivacyBudgetTracker",
+    "EarlyStopping",
+    "EpochHook",
+    "Trainer",
+]

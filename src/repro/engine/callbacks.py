@@ -1,0 +1,117 @@
+"""Callback API of the training engine.
+
+Callbacks observe (and may steer) a :class:`repro.engine.Trainer` run.  The
+trainer builds a ``logs`` dict per epoch (``epoch``, ``reconstruction_loss``,
+``kl_loss``, ``elbo_loss``) and passes it through the callback list in order,
+so an earlier callback can enrich the record a later one persists —
+:class:`PrivacyBudgetTracker` adds ``epsilon`` before :class:`HistoryLogger`
+writes the record into ``model.history``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "Callback",
+    "HistoryLogger",
+    "PrivacyBudgetTracker",
+    "EarlyStopping",
+    "EpochHook",
+]
+
+
+class Callback:
+    """Base class: override any subset of the hooks."""
+
+    def on_step_end(self, trainer, model, step: int, logs: dict) -> None:
+        """Called after every optimizer step with that step's batch losses."""
+
+    def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
+        """Called after every epoch with the epoch-mean losses."""
+
+
+class HistoryLogger(Callback):
+    """Persist the per-epoch ``logs`` record into a training history.
+
+    Writes to ``history`` when given one, otherwise to ``model.history`` —
+    reproducing the records the models' hand-rolled loops used to log inline.
+    """
+
+    def __init__(self, history=None):
+        self.history = history
+
+    def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
+        history = self.history if self.history is not None else model.history
+        history.log(**logs)
+
+
+class PrivacyBudgetTracker(Callback):
+    """Add the cumulative privacy spend to each epoch's log record.
+
+    ``optimizer`` must expose ``privacy_spent(delta) -> epsilon`` (as
+    :class:`repro.privacy.DPSGD` does); the value is stored under
+    ``logs["epsilon"]`` so it lands in the same history record as the losses.
+
+    The tracked value is the epsilon of the steps *executed so far*, so it can
+    end below the model's ``privacy_spent()``: models report the guarantee
+    they calibrated for (an upper bound), and skipped empty Poisson batches
+    release strictly less than that budget.
+    """
+
+    def __init__(self, optimizer, delta: float):
+        self.optimizer = optimizer
+        self.delta = delta
+
+    def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
+        logs["epsilon"] = self.optimizer.privacy_spent(self.delta)
+
+
+class EarlyStopping(Callback):
+    """Stop training when the monitored loss stops improving.
+
+    Monitors ``logs[monitor]`` (default: the ELBO loss) and asks the trainer
+    to stop after ``patience`` consecutive epochs without an improvement of at
+    least ``min_delta``.
+    """
+
+    def __init__(self, monitor: str = "elbo_loss", patience: int = 3, min_delta: float = 0.0):
+        check_positive(patience, "patience")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best: Optional[float] = None
+        self.wait = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
+        current = logs.get(self.monitor)
+        if current is None:
+            return
+        if self.best is None or current < self.best - self.min_delta:
+            self.best = float(current)
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            self.stopped_epoch = epoch
+            trainer.stop_training = True
+
+
+class EpochHook(Callback):
+    """Adapter for the legacy ``model.epoch_callback(model, epoch)`` hook.
+
+    The learning-efficiency experiments (Figure 7) attach a plain function to
+    ``model.epoch_callback``; this callback keeps that contract working on the
+    engine.  The attribute is read at call time, so it may be set any time
+    before (or even during) training.
+    """
+
+    def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
+        hook = getattr(model, "epoch_callback", None)
+        if hook is not None:
+            hook(model, epoch)

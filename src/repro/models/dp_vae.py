@@ -11,11 +11,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine import EpochHook, HistoryLogger, PrivacyBudgetTracker, Trainer, make_sampler
 from repro.models.vae import VAE
-from repro.nn import Adam, grad_sample_mode
+from repro.nn import Adam
 from repro.privacy.accounting import calibrate_dp_sgd_sigma, dp_sgd_epsilon
 from repro.privacy.dp_sgd import DPSGD
-from repro.utils.validation import check_array, check_positive, check_probability
+from repro.utils.validation import check_positive, check_probability
 
 __all__ = ["DPVAE"]
 
@@ -32,6 +33,10 @@ class DPVAE(VAE):
         Explicit ``sigma_s``; overrides calibration when given.
     max_grad_norm:
         Per-example clipping bound ``C``.
+    sampler:
+        Defaults to ``"poisson"`` so the executed subsampling matches the
+        mechanism the RDP accountant analyzes (see :mod:`repro.engine`);
+        ``"shuffle"`` recovers the legacy shuffle-and-partition batching.
     """
 
     def __init__(
@@ -47,6 +52,7 @@ class DPVAE(VAE):
         noise_multiplier: Optional[float] = None,
         max_grad_norm: float = 1.0,
         label_repeat: int = 10,
+        sampler: str = "poisson",
         random_state=None,
     ):
         super().__init__(
@@ -57,6 +63,7 @@ class DPVAE(VAE):
             learning_rate=learning_rate,
             decoder_type=decoder_type,
             label_repeat=label_repeat,
+            sampler=sampler,
             random_state=random_state,
         )
         check_positive(epsilon, "epsilon")
@@ -71,12 +78,7 @@ class DPVAE(VAE):
         self._fitted_epsilon: Optional[float] = None
         self._dp_optimizer: Optional[DPSGD] = None
 
-    def fit(self, X, y=None) -> "DPVAE":
-        data = self._attach_labels(check_array(X, "X"), y)
-        self.n_input_features_ = data.shape[1]
-        self._build(self.n_input_features_)
-
-        n_samples = len(data)
+    def _make_optimizer(self, n_samples: int) -> DPSGD:
         batch_size = min(self.batch_size, n_samples)
         sample_rate = batch_size / n_samples
         steps = self.epochs * int(np.ceil(n_samples / batch_size))
@@ -97,16 +99,17 @@ class DPVAE(VAE):
             rng=self._rng,
         )
         self._dp_optimizer = optimizer
-        self._train_loop(data, optimizer)
-        return self
+        return optimizer
 
-    def _optimization_step(self, batch: np.ndarray, optimizer) -> tuple:
-        """One DP-SGD step: per-example gradients, clipping, noise."""
-        with grad_sample_mode():
-            reconstruction, kl = self._per_example_loss(batch)
-            (reconstruction + kl).sum().backward()
-        optimizer.step()
-        return float(reconstruction.data.mean()), float(kl.data.mean())
+    def _make_trainer(self, optimizer, n_samples: int) -> Trainer:
+        return Trainer(
+            self,
+            optimizer,
+            make_sampler(self.sampler, n_samples, self.batch_size),
+            callbacks=[PrivacyBudgetTracker(optimizer, self.delta), HistoryLogger(), EpochHook()],
+            private=True,
+            rng=self._rng,
+        )
 
     def privacy_spent(self) -> tuple:
         if self._fitted_epsilon is None:

@@ -24,9 +24,10 @@ from typing import Optional
 import numpy as np
 
 from repro.decomposition import DPPCA
+from repro.engine import EpochHook, HistoryLogger, PrivacyBudgetTracker, Trainer, make_sampler
 from repro.mixture import DPGaussianMixture
 from repro.models.pgm import PGM
-from repro.nn import Adam, grad_sample_mode
+from repro.nn import Adam
 from repro.privacy.accounting import P3GMAccountant
 from repro.privacy.dp_sgd import DPSGD
 from repro.utils.validation import check_array, check_positive, check_probability
@@ -53,6 +54,10 @@ class P3GM(PGM):
         so that the total budget equals ``epsilon``.
     max_grad_norm:
         DP-SGD clipping bound ``C``.
+    sampler:
+        Defaults to ``"poisson"`` so the executed subsampling matches the
+        mechanism the RDP accountant analyzes (see :mod:`repro.engine`);
+        ``"shuffle"`` recovers the legacy shuffle-and-partition batching.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class P3GM(PGM):
         sigma_em: Optional[float] = None,
         max_grad_norm: float = 1.0,
         clip_norm: float = 1.0,
+        sampler: str = "poisson",
         random_state=None,
     ):
         super().__init__(
@@ -89,6 +95,7 @@ class P3GM(PGM):
             variance_mode=variance_mode,
             fixed_variance=fixed_variance,
             label_repeat=label_repeat,
+            sampler=sampler,
             random_state=random_state,
         )
         check_positive(epsilon, "epsilon")
@@ -194,12 +201,10 @@ class P3GM(PGM):
         self.n_input_features_ = data.shape[1]
         self._configure_privacy(len(data), self.n_input_features_)
         projected = self._encoding_phase(data)
-        self._build_networks(self.n_input_features_)
-        optimizer = self._make_optimizer(data)
-        self._train_loop(data, projected, optimizer)
+        self._decoding_phase(data, projected)
         return self
 
-    def _make_optimizer(self, data: np.ndarray):
+    def _make_optimizer(self, data: np.ndarray) -> DPSGD:
         n_samples = len(data)
         batch_size = min(self.batch_size, n_samples)
         params = list(self._trainable_parameters())
@@ -213,12 +218,19 @@ class P3GM(PGM):
             rng=self._rng,
         )
 
-    def _optimization_step(self, batch: np.ndarray, projected: np.ndarray, optimizer) -> tuple:
-        with grad_sample_mode():
-            reconstruction, kl = self._per_example_loss(batch, projected)
-            (reconstruction + kl).sum().backward()
-        optimizer.step()
-        return float(reconstruction.data.mean()), float(kl.data.mean())
+    def _make_trainer(self, optimizer, n_samples: int) -> Trainer:
+        return Trainer(
+            self,
+            optimizer,
+            make_sampler(self.sampler, n_samples, self.batch_size),
+            callbacks=[
+                PrivacyBudgetTracker(optimizer, self.delta),
+                HistoryLogger(),
+                EpochHook(),
+            ],
+            private=True,
+            rng=self._rng,
+        )
 
     # ------------------------------------------------------------------
     # Reporting

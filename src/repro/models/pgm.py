@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.decomposition import PCA
+from repro.engine import EpochHook, HistoryLogger, Trainer, make_sampler
 from repro.mixture import GaussianMixture
 from repro.mixture.kl import kl_gaussian_to_mog
 from repro.models.base import GenerativeModel, LabelEncodingMixin
@@ -75,6 +76,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
         variance_mode: str = "learned",
         fixed_variance: float = 0.0,
         label_repeat: int = 10,
+        sampler: str = "shuffle",
         random_state=None,
     ):
         check_positive(latent_dim, "latent_dim")
@@ -90,6 +92,8 @@ class PGM(GenerativeModel, LabelEncodingMixin):
             raise ValueError("variance_mode must be 'learned' or 'fixed'")
         if fixed_variance < 0:
             raise ValueError("fixed_variance must be non-negative")
+        if sampler not in ("shuffle", "poisson"):
+            raise ValueError("sampler must be 'shuffle' or 'poisson'")
         self.latent_dim = latent_dim
         self.n_mixture_components = n_mixture_components
         self.em_iterations = em_iterations
@@ -101,6 +105,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
         self.variance_mode = variance_mode
         self.fixed_variance = fixed_variance
         self.label_repeat = label_repeat
+        self.sampler = sampler
         self.random_state = random_state
         self._rng = as_generator(random_state)
 
@@ -227,41 +232,31 @@ class PGM(GenerativeModel, LabelEncodingMixin):
         data = self._attach_labels(check_array(X, "X"), y)
         self.n_input_features_ = data.shape[1]
         projected = self._encoding_phase(data)
+        self._decoding_phase(data, projected)
+        return self
+
+    def _decoding_phase(self, data: np.ndarray, projected: np.ndarray) -> None:
+        """Train the decoder (and variance head) on the fixed encoder mean."""
         self._build_networks(self.n_input_features_)
         optimizer = self._make_optimizer(data)
-        self._train_loop(data, projected, optimizer)
-        return self
+        trainer = self._make_trainer(optimizer, len(data))
+        trainer.fit(
+            len(data),
+            self.epochs,
+            lambda index: self._per_example_loss(data[index], projected[index]),
+        )
 
     def _make_optimizer(self, data: np.ndarray):
         return Adam(list(self._trainable_parameters()), lr=self.learning_rate)
 
-    def _train_loop(self, data: np.ndarray, projected: np.ndarray, optimizer) -> None:
-        n_samples = len(data)
-        batch_size = min(self.batch_size, n_samples)
-        for epoch in range(self.epochs):
-            order = self._rng.permutation(n_samples)
-            epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
-            for start in range(0, n_samples, batch_size):
-                index = order[start : start + batch_size]
-                recon, kl = self._optimization_step(data[index], projected[index], optimizer)
-                epoch_recon += recon
-                epoch_kl += kl
-                batches += 1
-            self.history.log(
-                epoch=epoch,
-                reconstruction_loss=epoch_recon / batches,
-                kl_loss=epoch_kl / batches,
-                elbo_loss=(epoch_recon + epoch_kl) / batches,
-            )
-            if self.epoch_callback is not None:
-                self.epoch_callback(self, epoch)
-
-    def _optimization_step(self, batch: np.ndarray, projected: np.ndarray, optimizer) -> tuple:
-        optimizer.zero_grad()
-        reconstruction, kl = self._per_example_loss(batch, projected)
-        (reconstruction + kl).mean().backward()
-        optimizer.step()
-        return float(reconstruction.data.mean()), float(kl.data.mean())
+    def _make_trainer(self, optimizer, n_samples: int) -> Trainer:
+        return Trainer(
+            self,
+            optimizer,
+            make_sampler(self.sampler, n_samples, self.batch_size),
+            callbacks=[HistoryLogger(), EpochHook()],
+            rng=self._rng,
+        )
 
     # ------------------------------------------------------------------
     # Evaluation helpers and sampling

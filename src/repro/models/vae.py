@@ -1,9 +1,11 @@
-"""Variational autoencoder (Kingma & Welling) and its training loop.
+"""Variational autoencoder (Kingma & Welling).
 
 The VAE is both a non-private reference model (Table V, Table VII "VAE"
 column) and the backbone that the phased models modify.  The encoder and
 decoder follow the paper's implementation section: two fully connected layers
-of width 1000 with ReLU activations.
+of width 1000 with ReLU activations.  Training runs through
+:class:`repro.engine.Trainer`; the model supplies only its per-example ELBO
+terms.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.engine import EpochHook, HistoryLogger, Trainer, make_sampler
 from repro.models.base import GenerativeModel, LabelEncodingMixin
 from repro.nn import MLP, Adam, Tensor, no_grad
 from repro.nn import functional as F
@@ -38,6 +41,11 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         reconstruction term is a sum of binary cross-entropies (data must lie
         in ``[0, 1]``); ``"gaussian"`` — the decoder outputs means of a
         unit-variance Gaussian and the reconstruction term is a squared error.
+    sampler:
+        Batch-construction strategy: ``"shuffle"`` (default; one pass over a
+        permutation per epoch) or ``"poisson"`` (independent per-step record
+        inclusion).  See :mod:`repro.engine` for the privacy-accounting
+        implications.
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         learning_rate: float = 1e-3,
         decoder_type: str = "bernoulli",
         label_repeat: int = 10,
+        sampler: str = "shuffle",
         random_state=None,
     ):
         check_positive(latent_dim, "latent_dim")
@@ -58,6 +67,8 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         check_positive(label_repeat, "label_repeat")
         if decoder_type not in ("bernoulli", "gaussian"):
             raise ValueError("decoder_type must be 'bernoulli' or 'gaussian'")
+        if sampler not in ("shuffle", "poisson"):
+            raise ValueError("sampler must be 'shuffle' or 'poisson'")
         self.latent_dim = latent_dim
         self.hidden = tuple(hidden)
         self.epochs = epochs
@@ -65,6 +76,7 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         self.learning_rate = learning_rate
         self.decoder_type = decoder_type
         self.label_repeat = label_repeat
+        self.sampler = sampler
         self.random_state = random_state
         self._rng = as_generator(random_state)
 
@@ -132,39 +144,23 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         data = self._attach_labels(check_array(X, "X"), y)
         self.n_input_features_ = data.shape[1]
         self._build(self.n_input_features_)
-        optimizer = Adam(list(self._parameters()), lr=self.learning_rate)
-        self._train_loop(data, optimizer)
+        n_samples = len(data)
+        optimizer = self._make_optimizer(n_samples)
+        trainer = self._make_trainer(optimizer, n_samples)
+        trainer.fit(n_samples, self.epochs, lambda index: self._per_example_loss(data[index]))
         return self
 
-    def _train_loop(self, data: np.ndarray, optimizer) -> None:
-        n_samples = len(data)
-        batch_size = min(self.batch_size, n_samples)
-        for epoch in range(self.epochs):
-            order = self._rng.permutation(n_samples)
-            epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
-            for start in range(0, n_samples, batch_size):
-                batch = data[order[start : start + batch_size]]
-                recon, kl = self._optimization_step(batch, optimizer)
-                epoch_recon += recon
-                epoch_kl += kl
-                batches += 1
-            self.history.log(
-                epoch=epoch,
-                reconstruction_loss=epoch_recon / batches,
-                kl_loss=epoch_kl / batches,
-                elbo_loss=(epoch_recon + epoch_kl) / batches,
-            )
-            if self.epoch_callback is not None:
-                self.epoch_callback(self, epoch)
+    def _make_optimizer(self, n_samples: int):
+        return Adam(list(self._parameters()), lr=self.learning_rate)
 
-    def _optimization_step(self, batch: np.ndarray, optimizer) -> tuple:
-        """One (non-private) gradient step; returns mean (recon, kl) of the batch."""
-        optimizer.zero_grad()
-        reconstruction, kl = self._per_example_loss(batch)
-        loss = (reconstruction + kl).mean()
-        loss.backward()
-        optimizer.step()
-        return float(reconstruction.data.mean()), float(kl.data.mean())
+    def _make_trainer(self, optimizer, n_samples: int) -> Trainer:
+        return Trainer(
+            self,
+            optimizer,
+            make_sampler(self.sampler, n_samples, self.batch_size),
+            callbacks=[HistoryLogger(), EpochHook()],
+            rng=self._rng,
+        )
 
     # -- evaluation helpers ------------------------------------------------------------------
 

@@ -105,7 +105,15 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "grad_sample", "requires_grad", "_backward", "_prev")
+    __slots__ = (
+        "data",
+        "grad",
+        "_grad_sample",
+        "_gs_factors",
+        "requires_grad",
+        "_backward",
+        "_prev",
+    )
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -113,7 +121,8 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
-        self.grad_sample: Optional[np.ndarray] = None
+        self._grad_sample: Optional[np.ndarray] = None
+        self._gs_factors: Optional[list] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: tuple = ()
 
@@ -145,10 +154,96 @@ class Tensor:
     def zero_grad(self) -> None:
         """Clear accumulated gradients (both aggregate and per-example)."""
         self.grad = None
-        self.grad_sample = None
+        self._grad_sample = None
+        self._gs_factors = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # -- per-example gradients (lazy / factored) ------------------------------
+
+    # ``affine`` records per-example gradients in *factored* form — the weight
+    # gradient of example ``b`` is ``outer(x_b, g_b)``, so storing ``(x, g)``
+    # costs O(batch * (in + out)) instead of O(batch * in * out).  The dense
+    # ``(batch, *param_shape)`` array is only materialised when ``grad_sample``
+    # is read; the fused DP-SGD step never reads it, computing clipping norms
+    # and clipped sums directly from the factors.
+
+    @property
+    def grad_sample(self) -> Optional[np.ndarray]:
+        """Dense per-example gradient ``(batch, *shape)``; materialised lazily."""
+        if self._grad_sample is None and self._gs_factors:
+            self._grad_sample = self._materialize_grad_sample()
+            self._gs_factors = None
+        return self._grad_sample
+
+    @grad_sample.setter
+    def grad_sample(self, value) -> None:
+        self._grad_sample = value
+        self._gs_factors = None
+
+    def _materialize_grad_sample(self) -> np.ndarray:
+        total = None
+        for factor in self._gs_factors:
+            if factor[0] == "outer":
+                _, x, g = factor
+                piece = np.einsum("bi,bo->bio", x, g)
+            else:
+                piece = factor[1].copy()
+            total = piece if total is None else total + piece
+        return total
+
+    def _add_grad_sample_outer(self, x: np.ndarray, grad: np.ndarray) -> None:
+        if self._grad_sample is not None:
+            self._grad_sample = self._grad_sample + np.einsum("bi,bo->bio", x, grad)
+            return
+        if self._gs_factors is None:
+            self._gs_factors = []
+        self._gs_factors.append(("outer", x, grad))
+
+    def _add_grad_sample_direct(self, grad: np.ndarray) -> None:
+        if self._grad_sample is not None:
+            self._grad_sample = self._grad_sample + grad
+            return
+        if self._gs_factors is None:
+            self._gs_factors = []
+        self._gs_factors.append(("direct", grad))
+
+    def has_grad_sample(self) -> bool:
+        """Whether a per-example gradient (dense or factored) is recorded."""
+        return self._grad_sample is not None or bool(self._gs_factors)
+
+    def grad_sample_sq_norms(self) -> Optional[np.ndarray]:
+        """Per-example squared L2 norms of ``grad_sample``, shape ``(batch,)``.
+
+        For a single factored contribution this avoids materialising the dense
+        array: ``||outer(x_b, g_b)||_F^2 = ||x_b||^2 * ||g_b||^2``.
+        """
+        if self._grad_sample is None and self._gs_factors and len(self._gs_factors) == 1:
+            factor = self._gs_factors[0]
+            if factor[0] == "outer":
+                _, x, g = factor
+                return (x**2).sum(axis=1) * (g**2).sum(axis=1)
+            g = factor[1]
+            return (g.reshape(len(g), -1) ** 2).sum(axis=1)
+        gs = self.grad_sample
+        if gs is None:
+            return None
+        return (gs.reshape(gs.shape[0], -1) ** 2).sum(axis=1)
+
+    def clipped_grad_sum(self, scale: np.ndarray) -> np.ndarray:
+        """``sum_b scale[b] * grad_sample[b]`` without materialising, if factored.
+
+        For the outer-product factorisation the scaled sum collapses to a
+        single matrix product: ``(x * scale[:, None]).T @ g``.
+        """
+        if self._grad_sample is None and self._gs_factors and len(self._gs_factors) == 1:
+            factor = self._gs_factors[0]
+            if factor[0] == "outer":
+                _, x, g = factor
+                return (x * scale[:, None]).T @ g
+            return np.tensordot(scale, factor[1], axes=(0, 0))
+        return np.tensordot(scale, self.grad_sample, axes=(0, 0))
 
     # -- graph construction helpers ------------------------------------------
 
@@ -444,18 +539,11 @@ class Tensor:
             if weight.requires_grad:
                 weight._accumulate(x.data.T @ grad)
                 if _GRAD_SAMPLE_ENABLED:
-                    sample = np.einsum("bi,bo->bio", x.data, grad)
-                    if weight.grad_sample is None:
-                        weight.grad_sample = sample
-                    else:
-                        weight.grad_sample = weight.grad_sample + sample
+                    weight._add_grad_sample_outer(x.data, grad)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad.sum(axis=0))
                 if _GRAD_SAMPLE_ENABLED:
-                    if bias.grad_sample is None:
-                        bias.grad_sample = grad.copy()
-                    else:
-                        bias.grad_sample = bias.grad_sample + grad
+                    bias._add_grad_sample_direct(grad)
 
         parents = (x, weight) if bias is None else (x, weight, bias)
         return self._make(out_data, parents, backward)

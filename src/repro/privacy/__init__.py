@@ -1,7 +1,13 @@
 """``repro.privacy`` — differential-privacy mechanisms, DP-SGD, and accounting."""
 
 from repro.privacy import accounting
-from repro.privacy.clipping import clip_by_l2_norm, clip_rows, per_example_clip
+from repro.privacy.clipping import (
+    clip_by_l2_norm,
+    clip_rows,
+    fused_clip_sum,
+    per_example_clip,
+    per_example_scale_factors,
+)
 from repro.privacy.dp_sgd import DPSGD
 from repro.privacy.mechanisms import (
     gaussian_mechanism,
@@ -21,5 +27,7 @@ __all__ = [
     "clip_by_l2_norm",
     "clip_rows",
     "per_example_clip",
+    "per_example_scale_factors",
+    "fused_clip_sum",
     "DPSGD",
 ]

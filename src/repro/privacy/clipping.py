@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["clip_by_l2_norm", "clip_rows", "per_example_clip"]
+__all__ = [
+    "clip_by_l2_norm",
+    "clip_rows",
+    "per_example_clip",
+    "per_example_scale_factors",
+    "fused_clip_sum",
+]
 
 
 def clip_by_l2_norm(vector: np.ndarray, max_norm: float) -> np.ndarray:
@@ -50,16 +56,48 @@ def per_example_clip(grad_samples: list, max_norm: float) -> list:
         raise ValueError("max_norm must be positive")
     if not grad_samples:
         return []
+    scale = per_example_scale_factors(_concatenated_sq_norms(grad_samples), max_norm)
+    clipped = []
+    for g in grad_samples:
+        shape = (g.shape[0],) + (1,) * (g.ndim - 1)
+        clipped.append(g * scale.reshape(shape))
+    return clipped
+
+
+def _concatenated_sq_norms(grad_samples: list) -> np.ndarray:
+    """Squared L2 norms of each example's concatenated gradient, shape (batch,)."""
     batch = grad_samples[0].shape[0]
     squared = np.zeros(batch)
     for g in grad_samples:
         if g.shape[0] != batch:
             raise ValueError("inconsistent batch dimension across grad samples")
         squared += (g.reshape(batch, -1) ** 2).sum(axis=1)
-    norms = np.sqrt(squared)
-    scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
-    clipped = []
-    for g in grad_samples:
-        shape = (batch,) + (1,) * (g.ndim - 1)
-        clipped.append(g * scale.reshape(shape))
-    return clipped
+    return squared
+
+
+def per_example_scale_factors(squared_norms: np.ndarray, max_norm: float) -> np.ndarray:
+    """Per-example scaling factors that clip gradients of the given squared norms.
+
+    ``scale[b] = min(1, max_norm / norm[b])`` — multiplying example ``b``'s
+    full gradient by ``scale[b]`` bounds its L2 norm by ``max_norm``.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norms = np.sqrt(np.asarray(squared_norms, dtype=np.float64))
+    return np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+
+
+def fused_clip_sum(grad_samples: list, max_norm: float) -> list:
+    """Clip each example's concatenated gradient and sum over the batch, fused.
+
+    Equivalent to ``[c.sum(axis=0) for c in per_example_clip(gs, max_norm)]``
+    but never materialises the clipped per-example tensors: the scaled sum is
+    a single contraction ``tensordot(scale, g, axes=(0, 0))`` per parameter.
+    Returns one summed array of ``param_shape`` per input.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    if not grad_samples:
+        return []
+    scale = per_example_scale_factors(_concatenated_sq_norms(grad_samples), max_norm)
+    return [np.tensordot(scale, g, axes=(0, 0)) for g in grad_samples]

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.nn.optim import Optimizer, SGD
 from repro.privacy.accounting.calibration import dp_sgd_epsilon
-from repro.privacy.clipping import per_example_clip
+from repro.privacy.clipping import per_example_scale_factors
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive, check_probability
 
@@ -83,27 +83,49 @@ class DPSGD:
             p.zero_grad()
 
     def step(self) -> None:
-        """Clip, noise, average, and apply one gradient step.
+        """Clip, noise, average, and apply one fused gradient step.
 
         Must be called after a backward pass executed inside
         ``with grad_sample_mode():`` so every parameter has ``grad_sample``.
-        """
-        grad_samples = []
-        for p in self.params:
-            if p.grad_sample is None:
-                raise RuntimeError(
-                    "parameter has no per-example gradient; run the backward pass "
-                    "inside repro.nn.grad_sample_mode()"
-                )
-            grad_samples.append(p.grad_sample)
 
-        clipped = per_example_clip(grad_samples, self.max_grad_norm)
-        noise_std = self.noise_multiplier * self.max_grad_norm
-        private_grads = []
-        for g in clipped:
-            summed = g.sum(axis=0)
-            noisy = summed + self._rng.normal(0.0, noise_std, size=summed.shape)
-            private_grads.append(noisy / self.expected_batch_size)
+        The clip→sum→noise→scale pipeline runs on the flattened full gradient:
+        per-example clipping norms are computed over the concatenation of all
+        parameters (from the factored per-example gradients when available, so
+        the dense ``(batch, *param_shape)`` arrays are never materialised),
+        the clipped per-example gradients are summed by a single contraction
+        per parameter, and one Gaussian noise vector is drawn for the whole
+        concatenated gradient before unflattening into parameter views.
+        """
+        squared_norms = None
+        for index, p in enumerate(self.params):
+            if not p.has_grad_sample():
+                raise RuntimeError(
+                    f"parameter {index} (shape {tuple(p.shape)}) has no per-example "
+                    "gradient; run the backward pass inside repro.nn.grad_sample_mode()"
+                )
+            contribution = p.grad_sample_sq_norms()
+            if squared_norms is None:
+                squared_norms = contribution
+            elif contribution.shape != squared_norms.shape:
+                raise ValueError(
+                    f"inconsistent batch dimension across grad samples: parameter "
+                    f"{index} (shape {tuple(p.shape)}) saw a batch of "
+                    f"{contribution.shape[0]}, expected {squared_norms.shape[0]}"
+                )
+            else:
+                squared_norms = squared_norms + contribution
+
+        scale = per_example_scale_factors(squared_norms, self.max_grad_norm)
+        flat = np.concatenate([p.clipped_grad_sum(scale).ravel() for p in self.params])
+        flat += self._rng.normal(
+            0.0, self.noise_multiplier * self.max_grad_norm, size=flat.shape
+        )
+        flat /= self.expected_batch_size
+
+        private_grads, offset = [], 0
+        for p in self.params:
+            private_grads.append(flat[offset : offset + p.size].reshape(p.shape))
+            offset += p.size
 
         self.base_optimizer.apply_gradients(private_grads)
         self.steps_taken += 1

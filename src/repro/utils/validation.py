@@ -17,7 +17,12 @@ def check_array(X, name: str = "X", ndim: int = 2, dtype=np.float64) -> np.ndarr
     if arr.ndim != ndim:
         raise ValueError(f"{name} must be {ndim}-dimensional; got shape {arr.shape}")
     if arr.size == 0:
-        raise ValueError(f"{name} must not be empty")
+        if arr.ndim >= 1 and arr.shape[0] == 0:
+            raise ValueError(
+                f"{name} is empty (0 samples, shape {arr.shape}); "
+                "fit/transform require at least one sample"
+            )
+        raise ValueError(f"{name} must not be empty; got shape {arr.shape}")
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} contains NaN or infinite values")
     return np.ascontiguousarray(arr)

@@ -1,0 +1,13 @@
+"""Fixtures for engine tests: a small dataset in [0, 1]."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def toy_unlabeled_data():
+    rng = np.random.default_rng(7)
+    n, d = 400, 20
+    centers = np.vstack([np.full(d, 0.3), np.full(d, 0.7)])
+    y = rng.integers(0, 2, n)
+    return np.clip(centers[y] + 0.08 * rng.normal(size=(n, d)), 0.0, 1.0)

@@ -1,0 +1,118 @@
+"""Tests for the engine callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EarlyStopping,
+    EpochHook,
+    HistoryLogger,
+    PrivacyBudgetTracker,
+    ShuffleSampler,
+    Trainer,
+)
+from repro.models import DPVAE, VAE
+from repro.utils.logging import TrainingHistory
+
+
+class FakeTrainer:
+    stop_training = False
+
+
+class FakeModel:
+    def __init__(self):
+        self.history = TrainingHistory()
+
+
+class TestHistoryLogger:
+    def test_logs_into_model_history(self):
+        model = FakeModel()
+        HistoryLogger().on_epoch_end(FakeTrainer(), model, 0, {"epoch": 0, "loss": 1.5})
+        assert model.history.records == [{"epoch": 0, "loss": 1.5}]
+
+    def test_explicit_history_takes_precedence(self):
+        model = FakeModel()
+        history = TrainingHistory()
+        HistoryLogger(history).on_epoch_end(FakeTrainer(), model, 0, {"loss": 2.0})
+        assert len(history) == 1
+        assert len(model.history) == 0
+
+
+class TestPrivacyBudgetTracker:
+    def test_adds_epsilon_to_logs_before_history(self):
+        class FakeOptimizer:
+            def privacy_spent(self, delta):
+                return 0.25
+
+        logs = {"epoch": 0}
+        PrivacyBudgetTracker(FakeOptimizer(), 1e-5).on_epoch_end(FakeTrainer(), FakeModel(), 0, logs)
+        assert logs["epsilon"] == 0.25
+
+    def test_dpvae_history_records_cumulative_epsilon(self, toy_unlabeled_data):
+        model = DPVAE(
+            latent_dim=4, hidden=(16,), epochs=3, batch_size=100,
+            noise_multiplier=2.0, epsilon=5.0, random_state=0,
+        ).fit(toy_unlabeled_data)
+        epsilons = model.history.series("epsilon")
+        assert len(epsilons) == 3
+        assert all(b >= a for a, b in zip(epsilons, epsilons[1:]))
+        assert 0 < epsilons[-1] <= model.privacy_spent()[0] + 1e-9
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_epochs_without_improvement(self):
+        stopper = EarlyStopping(monitor="elbo_loss", patience=2)
+        trainer = FakeTrainer()
+        model = FakeModel()
+        for epoch, loss in enumerate([10.0, 9.0, 9.5, 9.4]):
+            stopper.on_epoch_end(trainer, model, epoch, {"elbo_loss": loss})
+        assert trainer.stop_training
+        assert stopper.stopped_epoch == 3
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(patience=2)
+        trainer = FakeTrainer()
+        for epoch, loss in enumerate([10.0, 9.9, 8.0, 8.5]):
+            stopper.on_epoch_end(trainer, FakeModel(), epoch, {"elbo_loss": loss})
+        assert not trainer.stop_training
+
+    def test_min_delta_requires_meaningful_improvement(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.5)
+        trainer = FakeTrainer()
+        for epoch, loss in enumerate([10.0, 9.8]):
+            stopper.on_epoch_end(trainer, FakeModel(), epoch, {"elbo_loss": loss})
+        assert trainer.stop_training
+
+    def test_ends_a_real_training_run_early(self, toy_unlabeled_data):
+        model = VAE(latent_dim=4, hidden=(16,), epochs=50, batch_size=100, random_state=0)
+        data = model._attach_labels(toy_unlabeled_data, None)
+        model.n_input_features_ = data.shape[1]
+        model._build(model.n_input_features_)
+        optimizer = model._make_optimizer(len(data))
+        trainer = Trainer(
+            model,
+            optimizer,
+            ShuffleSampler(model.batch_size),
+            callbacks=[HistoryLogger(), EarlyStopping(patience=2)],
+            rng=model._rng,
+        )
+        trainer.fit(len(data), model.epochs, lambda idx: model._per_example_loss(data[idx]))
+        assert len(model.history) < 50
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-0.1)
+
+
+class TestEpochHook:
+    def test_legacy_epoch_callback_keeps_firing(self, toy_unlabeled_data):
+        calls = []
+        model = VAE(latent_dim=4, hidden=(16,), epochs=3, batch_size=100, random_state=0)
+        model.epoch_callback = lambda m, epoch: calls.append((m is model, epoch))
+        model.fit(toy_unlabeled_data)
+        assert calls == [(True, 0), (True, 1), (True, 2)]
+
+    def test_missing_hook_is_a_no_op(self):
+        EpochHook().on_epoch_end(FakeTrainer(), object(), 0, {})

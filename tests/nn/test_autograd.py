@@ -222,3 +222,60 @@ class TestAffinePerExampleGradients:
         x = Tensor(np.ones((3, 2)))
         x.affine(w).sum().backward()
         assert w.grad_sample is None
+
+
+class TestFactoredGradSample:
+    """The lazy (factored) per-example gradient API used by the fused DP step."""
+
+    def _backward(self, seed=5, B=7, din=4, dout=3):
+        rng = np.random.default_rng(seed)
+        w = Tensor(rng.normal(size=(din, dout)), requires_grad=True)
+        b = Tensor(rng.normal(size=dout), requires_grad=True)
+        x = Tensor(rng.normal(size=(B, din)))
+        with grad_sample_mode():
+            (x.affine(w, b) ** 2).sum().backward()
+        return w, b
+
+    def test_sq_norms_match_dense_without_materialising(self):
+        w, b = self._backward()
+        for p in (w, b):
+            fast = p.grad_sample_sq_norms()
+            assert p._grad_sample is None, "sq norms must not materialise the dense array"
+            dense = p.grad_sample  # materialises
+            expected = (dense.reshape(dense.shape[0], -1) ** 2).sum(axis=1)
+            np.testing.assert_allclose(fast, expected, atol=1e-10)
+
+    def test_clipped_grad_sum_matches_dense(self):
+        w, b = self._backward()
+        scale = np.random.default_rng(0).uniform(0.1, 1.0, size=7)
+        for p in (w, b):
+            fast = p.clipped_grad_sum(scale)
+            assert p._grad_sample is None
+            expected = np.tensordot(scale, p.grad_sample, axes=(0, 0))
+            np.testing.assert_allclose(fast, expected, atol=1e-10)
+
+    def test_parameter_reuse_falls_back_to_dense(self):
+        """A weight applied twice per step has two factors; norms of the summed
+        per-example gradient are not separable, so the dense path must be used."""
+        rng = np.random.default_rng(1)
+        w = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        x1 = Tensor(rng.normal(size=(5, 3)))
+        x2 = Tensor(rng.normal(size=(5, 3)))
+        with grad_sample_mode():
+            (x1.affine(w).sum() + (x2.affine(w) ** 2).sum()).backward()
+        assert len(w._gs_factors) == 2
+        norms = w.grad_sample_sq_norms()
+        dense = w.grad_sample
+        expected = (dense.reshape(5, -1) ** 2).sum(axis=1)
+        np.testing.assert_allclose(norms, expected, atol=1e-10)
+        # The dense array must equal the sum of both contributions' einsums.
+        manual = np.einsum("bi,bo->bio", x1.data, np.ones((5, 3)))
+        assert dense.shape == (5, 3, 3)
+        assert not np.allclose(dense, manual)  # second term contributes too
+
+    def test_zero_grad_clears_factors(self):
+        w, b = self._backward()
+        assert w.has_grad_sample()
+        w.zero_grad()
+        assert not w.has_grad_sample()
+        assert w.grad_sample is None

@@ -26,6 +26,18 @@ class TestDPSGDMechanics:
         with pytest.raises(RuntimeError):
             opt.step()
 
+    def test_missing_grad_sample_error_names_parameter(self):
+        """The error must identify which parameter lacks grad_sample (index + shape)."""
+        model, X, y = make_model_and_data()
+        params = list(model.parameters())
+        opt = DPSGD(params, noise_multiplier=1.0, max_grad_norm=1.0, expected_batch_size=64)
+        with grad_sample_mode():
+            F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+        # Drop the per-example gradient of the third parameter only.
+        params[2].grad_sample = None
+        with pytest.raises(RuntimeError, match=r"parameter 2 \(shape \(8, 1\)\)"):
+            opt.step()
+
     def test_step_updates_parameters(self):
         model, X, y = make_model_and_data()
         params = list(model.parameters())

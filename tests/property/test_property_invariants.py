@@ -14,7 +14,13 @@ from hypothesis.extra.numpy import arrays
 from repro.ml import MinMaxScaler, accuracy_score, average_precision_score, roc_auc_score
 from repro.mixture import GaussianMixture, kl_gaussian_to_mog
 from repro.nn import Tensor
-from repro.privacy import clip_by_l2_norm, clip_rows, per_example_clip
+from repro.privacy import (
+    clip_by_l2_norm,
+    clip_rows,
+    fused_clip_sum,
+    per_example_clip,
+    per_example_scale_factors,
+)
 from repro.privacy.accounting import (
     dp_sgd_epsilon,
     rdp_gaussian,
@@ -54,6 +60,25 @@ class TestClippingProperties:
         for i in range(batch):
             joint = np.sqrt(sum(float((c[i] ** 2).sum()) for c in clipped))
             assert joint <= max_norm + 1e-9
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 5)), elements=finite_floats),
+        arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 4)), elements=finite_floats),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fused_clip_sum_matches_per_example_clip(self, g1, g2, max_norm):
+        """The fused path equals sum-after-clip, and its implied per-example
+        gradients are bounded: scale[b] * ||concat grad[b]|| <= max_norm."""
+        batch = min(len(g1), len(g2))
+        grads = [g1[:batch], g2[:batch]]
+        fused = fused_clip_sum(grads, max_norm)
+        reference = [c.sum(axis=0) for c in per_example_clip(grads, max_norm)]
+        for f, r in zip(fused, reference):
+            np.testing.assert_allclose(f, r, atol=1e-9)
+        squared = sum((g.reshape(batch, -1) ** 2).sum(axis=1) for g in grads)
+        scaled_norms = per_example_scale_factors(squared, max_norm) * np.sqrt(squared)
+        assert np.all(scaled_norms <= max_norm + 1e-9)
 
 
 class TestAccountingProperties:
