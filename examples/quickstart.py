@@ -3,9 +3,12 @@
 Run with:  python examples/quickstart.py
 """
 
+import tempfile
+
 from repro.datasets import load_dataset
 from repro.evaluation import evaluate_synthesizer, format_rows
 from repro.models import P3GM
+from repro.serving import SynthesisService, load_artifact, save_artifact
 
 
 def main() -> None:
@@ -46,6 +49,19 @@ def main() -> None:
     # 4. Check utility: train classifiers on the synthetic data, test on real data.
     result = evaluate_synthesizer(model, data, model_name="P3GM", fit=False)
     print(format_rows([result.as_row()], title="\nUtility of the released data"))
+
+    # 5. Release the *model*, not the data: write a versioned artifact, reload
+    #    it in a fresh object, and stream samples with bounded memory.
+    with tempfile.TemporaryDirectory() as artifact_root:
+        save_artifact(model, f"{artifact_root}/p3gm-adult", metadata={"dataset": "adult"})
+        reloaded = load_artifact(f"{artifact_root}/p3gm-adult", expected_class="P3GM")
+        print(f"\nreloaded artifact reports privacy {reloaded.privacy_spent()}")
+
+        service = SynthesisService(artifact_root=artifact_root)
+        streamed = 0
+        for chunk in service.stream("p3gm-adult", 100_000, seed=7, chunk_size=8192):
+            streamed += len(chunk)  # each chunk is at most 8192 rows
+        print(f"streamed {streamed} synthetic rows in bounded-memory chunks")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@ The package is organised as a layered system:
 - :mod:`repro.ml` — downstream classifiers and evaluation metrics.
 - :mod:`repro.datasets` — simulators for the paper's six datasets.
 - :mod:`repro.evaluation` — the synthetic-data utility protocol and experiment runners.
+- :mod:`repro.serving` — versioned model artifacts, the streaming synthesis
+  service, and the ``python -m repro`` command line.
 
 Quickstart::
 

@@ -14,6 +14,7 @@ from repro.evaluation.model_zoo import PAPER_SGD_NOISE, SCALES, model_factories
 from repro.evaluation.pipeline import (
     UtilityResult,
     default_classifier_suite,
+    evaluate_artifact,
     evaluate_original,
     evaluate_synthesizer,
     image_classifier_suite,
@@ -23,6 +24,7 @@ from repro.evaluation.sample_quality import SampleQuality, sample_quality
 
 __all__ = [
     "UtilityResult",
+    "evaluate_artifact",
     "evaluate_synthesizer",
     "evaluate_original",
     "default_classifier_suite",

@@ -38,6 +38,7 @@ __all__ = [
     "default_classifier_suite",
     "image_classifier_suite",
     "UtilityResult",
+    "evaluate_artifact",
     "evaluate_synthesizer",
     "evaluate_original",
 ]
@@ -177,6 +178,35 @@ def evaluate_synthesizer(
                 else {"accuracy": 1.0 / dataset.n_classes}
             )
     return result
+
+
+def evaluate_artifact(
+    artifact_path,
+    dataset: Dataset,
+    classifiers: Optional[dict] = None,
+    n_synthetic: Optional[int] = None,
+    random_state=0,
+    model_name: Optional[str] = None,
+) -> UtilityResult:
+    """Run the utility protocol against a *released* model artifact.
+
+    The model is loaded from disk (:func:`repro.serving.load_artifact`) and
+    evaluated as-is (``fit=False``) — this is the consumer-side check that a
+    released synthesizer still carries usable signal.
+    """
+    from repro.serving.artifacts import load_artifact, read_manifest
+
+    model = load_artifact(artifact_path)
+    manifest = read_manifest(artifact_path)
+    return evaluate_synthesizer(
+        model,
+        dataset,
+        model_name=model_name or manifest.get("name"),
+        classifiers=classifiers,
+        n_synthetic=n_synthetic,
+        fit=False,
+        random_state=random_state,
+    )
 
 
 def evaluate_original(

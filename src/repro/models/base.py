@@ -20,18 +20,45 @@ from typing import Optional
 import numpy as np
 
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, check_n_samples
 
-__all__ = ["GenerativeModel", "LabelEncodingMixin"]
+__all__ = ["GenerativeModel", "LabelEncodingMixin", "pack_state", "unpack_state"]
+
+
+def pack_state(prefix: str, state: dict) -> dict:
+    """Prefix every key of ``state`` (used to nest sub-model state dicts)."""
+    return {f"{prefix}{key}": value for key, value in state.items()}
+
+
+def unpack_state(state: dict, prefix: str) -> dict:
+    """Inverse of :func:`pack_state`: extract and strip one prefix."""
+    offset = len(prefix)
+    return {key[offset:]: value for key, value in state.items() if key.startswith(prefix)}
 
 
 class GenerativeModel:
-    """Abstract base class for data synthesizers."""
+    """Abstract base class for data synthesizers.
+
+    Besides the training/sampling protocol documented in the module docstring,
+    every synthesizer supports first-class persistence for the serving layer
+    (:mod:`repro.serving`):
+
+    - ``get_config()`` — JSON-safe constructor hyper-parameters, sufficient to
+      rebuild an unfitted twin via ``type(model)(**config)``;
+    - ``state_dict()`` — the fitted state as a flat ``name -> numpy array``
+      mapping (scalars as 0-d arrays; no object arrays, so artifacts load with
+      ``allow_pickle=False``);
+    - ``load_state_dict(state)`` — restore the fitted state into a freshly
+      constructed model.  A loaded model must report the exact same
+      ``privacy_spent()`` as the original and draw bit-identical samples when
+      given the same ``rng``.
+    """
 
     def fit(self, X, y=None):
         raise NotImplementedError
 
-    def sample(self, n_samples: int) -> np.ndarray:
+    def sample(self, n_samples: int, rng=None) -> np.ndarray:
+        """Draw synthetic rows; ``rng`` overrides the model's internal stream."""
         raise NotImplementedError
 
     def privacy_spent(self) -> tuple:
@@ -42,6 +69,20 @@ class GenerativeModel:
     def is_private(self) -> bool:
         eps, _ = self.privacy_spent()
         return np.isfinite(eps)
+
+    # -- persistence protocol -----------------------------------------------------
+
+    def get_config(self) -> dict:
+        """JSON-serialisable constructor hyper-parameters of this model."""
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Fitted state as a flat mapping of numpy arrays."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> "GenerativeModel":
+        """Restore fitted state produced by :meth:`state_dict`."""
+        raise NotImplementedError
 
 
 class LabelEncodingMixin:
@@ -114,32 +155,87 @@ class LabelEncodingMixin:
             raise RuntimeError("model is not fitted")
         return total - self._label_block_width()
 
+    # -- (de)serialisation helpers --------------------------------------------------
+
+    def _label_state_dict(self) -> dict:
+        """Label-handling state as flat numpy entries (for ``state_dict``)."""
+        state = {
+            "label.n_classes": np.asarray(self._n_classes),
+            "label.repeat": np.asarray(self._label_repeat),
+        }
+        if self._n_classes:
+            state["label.classes"] = np.asarray(self._classes)
+            state["label.ratio"] = np.asarray(self._label_ratio)
+        return state
+
+    def _load_label_state(self, state: dict) -> None:
+        self._n_classes = int(state["label.n_classes"])
+        self._label_repeat = int(state["label.repeat"])
+        if self._n_classes:
+            self._classes = np.asarray(state["label.classes"])
+            self._label_ratio = np.asarray(state["label.ratio"], dtype=np.float64)
+        else:
+            self._classes = None
+            self._label_ratio = None
+
     # -- sampling-side helpers ------------------------------------------------------
 
-    def sample_labeled(self, n_samples: int, match_ratio: bool = True, rng=None):
+    def _resolve_quotas(self, n_samples: int, class_counts) -> np.ndarray:
+        """Per-class quotas: explicit counts, or the rounded training ratio."""
+        if class_counts is not None:
+            quotas = np.asarray(class_counts, dtype=np.int64)
+            if quotas.shape != (self._n_classes,) or (quotas < 0).any():
+                raise ValueError(
+                    f"class_counts must be {self._n_classes} non-negative integers"
+                )
+            if quotas.sum() != n_samples:
+                raise ValueError(
+                    f"class_counts sum to {quotas.sum()} but n_samples is {n_samples}"
+                )
+            return quotas
+        quotas = np.round(self._label_ratio * n_samples).astype(int)
+        # Rounding can drop/add a few samples; fix up on the largest class.
+        quotas[np.argmax(quotas)] += n_samples - quotas.sum()
+        return quotas
+
+    def sample_labeled(
+        self,
+        n_samples: int,
+        match_ratio: bool = True,
+        rng=None,
+        generation_rng=None,
+        class_counts=None,
+    ):
         """Sample labelled synthetic data.
 
         When ``match_ratio`` is true (the paper's protocol) the output label
         distribution matches the training label ratio: samples are drawn in
         excess and assigned to per-class quotas by their one-hot activation,
         which also guards against mode-collapse starving a class entirely.
+        ``class_counts`` overrides the ratio-derived quotas with explicit
+        per-class counts (in ``classes_`` order, summing to ``n_samples``) —
+        the streaming service uses this to keep rare classes represented
+        across chunks instead of re-rounding the ratio per chunk.
+
+        ``rng`` seeds the quota selection and output shuffle only; the raw
+        draws come from the model's internal stream unless ``generation_rng``
+        is given, in which case the whole request is reproducible from the two
+        generators (the serving layer passes the same generator for both).
         """
+        n_samples = check_n_samples(n_samples)
         if self._n_classes == 0:
             raise RuntimeError("model was fitted without labels; use sample() instead")
-        if n_samples < 1:
-            raise ValueError("n_samples must be >= 1")
         rng = as_generator(rng)
+        generation_rng = None if generation_rng is None else as_generator(generation_rng)
 
         if not match_ratio:
-            rows = self.sample(n_samples)
+            rows = self.sample(n_samples, rng=generation_rng)
             return self._split_labels(rows)
 
-        quotas = np.round(self._label_ratio * n_samples).astype(int)
-        # Rounding can drop/add a few samples; fix up on the largest class.
-        quotas[np.argmax(quotas)] += n_samples - quotas.sum()
+        quotas = self._resolve_quotas(n_samples, class_counts)
 
         oversample = max(2 * n_samples, 4 * self._n_classes)
-        rows = self.sample(oversample)
+        rows = self.sample(oversample, rng=generation_rng)
         scores = self._label_scores(rows)
         assignments = np.argmax(scores, axis=1)
         feature_width = rows.shape[1] - self._label_block_width()

@@ -24,12 +24,17 @@ from typing import Optional
 
 import numpy as np
 
-from repro.models.base import GenerativeModel, LabelEncodingMixin
+from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
 from repro.models.dp_vae import DPVAE
 from repro.privacy.clipping import clip_rows
 from repro.privacy.mechanisms import laplace_mechanism
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_array, check_positive, check_probability
+from repro.utils.validation import (
+    check_array,
+    check_n_samples,
+    check_positive,
+    check_probability,
+)
 
 __all__ = ["DPGM"]
 
@@ -187,11 +192,13 @@ class DPGM(GenerativeModel, LabelEncodingMixin):
         self._fit_cluster_generators(data, assignments)
         return self
 
-    def sample(self, n_samples: int) -> np.ndarray:
+    def sample(self, n_samples: int, rng=None) -> np.ndarray:
+        n_samples = check_n_samples(n_samples)
         self._check_fitted()
-        if n_samples < 1:
-            raise ValueError("n_samples must be >= 1")
-        chosen = self._rng.choice(self.n_clusters, size=n_samples, p=self.cluster_weights_)
+        # Every per-cluster DPVAE shares this model's generator object, so
+        # passing it down keeps one stream whether or not a request rng is given.
+        rng = self._rng if rng is None else as_generator(rng)
+        chosen = rng.choice(self.n_clusters, size=n_samples, p=self.cluster_weights_)
         rows = np.empty((n_samples, self.n_input_features_))
         for k in range(self.n_clusters):
             mask = chosen == k
@@ -201,11 +208,11 @@ class DPGM(GenerativeModel, LabelEncodingMixin):
             generator = self.generators_[k]
             if isinstance(generator, tuple):
                 _, center, scale = generator
-                samples = center + self._rng.normal(0.0, scale, size=(count, self.n_input_features_))
+                samples = center + rng.normal(0.0, scale, size=(count, self.n_input_features_))
                 if self.decoder_type == "bernoulli":
                     samples = np.clip(samples, 0.0, 1.0)
             else:
-                samples = generator.sample(count)
+                samples = generator.sample(count, rng=rng)
             rows[mask] = samples
         return rows
 
@@ -218,6 +225,81 @@ class DPGM(GenerativeModel, LabelEncodingMixin):
             default=0.0,
         )
         return (self.epsilon * self.kmeans_budget_fraction + generator_eps, self.delta)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def get_config(self) -> dict:
+        return {
+            "n_clusters": self.n_clusters,
+            "latent_dim": self.latent_dim,
+            "hidden": list(self.hidden),
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "kmeans_iterations": self.kmeans_iterations,
+            "kmeans_budget_fraction": self.kmeans_budget_fraction,
+            "min_cluster_size": self.min_cluster_size,
+            "decoder_type": self.decoder_type,
+            "max_grad_norm": self.max_grad_norm,
+            "label_repeat": self.label_repeat,
+        }
+
+    def state_dict(self) -> dict:
+        self._check_fitted()
+        state = {
+            "n_input_features": np.asarray(self.n_input_features_),
+            "centroids": self.centroids_,
+            "cluster_weights": self.cluster_weights_,
+        }
+        state.update(self._label_state_dict())
+        for k, generator in enumerate(self.generators_):
+            prefix = f"generator_{k}."
+            if isinstance(generator, tuple):
+                _, center, scale = generator
+                state[prefix + "kind"] = np.asarray("gaussian")
+                state[prefix + "center"] = np.asarray(center)
+                state[prefix + "scale"] = np.asarray(scale)
+            else:
+                state[prefix + "kind"] = np.asarray("vae")
+                state[prefix + "latent_dim"] = np.asarray(generator.latent_dim)
+                state[prefix + "batch_size"] = np.asarray(generator.batch_size)
+                state.update(pack_state(prefix + "state.", generator.state_dict()))
+        return state
+
+    def load_state_dict(self, state: dict) -> "DPGM":
+        self.n_input_features_ = int(state["n_input_features"])
+        self._load_label_state(state)
+        self.centroids_ = np.asarray(state["centroids"])
+        self.cluster_weights_ = np.asarray(state["cluster_weights"])
+        generator_epsilon = self.epsilon * (1.0 - self.kmeans_budget_fraction)
+        self.generators_ = []
+        for k in range(self.n_clusters):
+            prefix = f"generator_{k}."
+            kind = state[prefix + "kind"].item()
+            if kind == "gaussian":
+                self.generators_.append(
+                    ("gaussian", np.asarray(state[prefix + "center"]), float(state[prefix + "scale"]))
+                )
+                continue
+            vae = DPVAE(
+                latent_dim=int(state[prefix + "latent_dim"]),
+                hidden=self.hidden,
+                epochs=self.epochs,
+                batch_size=int(state[prefix + "batch_size"]),
+                learning_rate=self.learning_rate,
+                decoder_type=self.decoder_type,
+                epsilon=generator_epsilon,
+                delta=self.delta,
+                max_grad_norm=self.max_grad_norm,
+                random_state=self._rng,
+            )
+            vae.load_state_dict(unpack_state(state, prefix + "state."))
+            self.generators_.append(vae)
+        return self
 
     def _check_fitted(self) -> None:
         if self.generators_ is None:

@@ -115,3 +115,25 @@ class DPVAE(VAE):
         if self._fitted_epsilon is None:
             return (0.0, 0.0)
         return (self._fitted_epsilon, self.delta)
+
+    # -- persistence -------------------------------------------------------------------------
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(
+            epsilon=self.epsilon,
+            delta=self.delta,
+            noise_multiplier=self.noise_multiplier,
+            max_grad_norm=self.max_grad_norm,
+        )
+        return config
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["fitted_epsilon"] = np.asarray(self._fitted_epsilon)
+        return state
+
+    def load_state_dict(self, state: dict) -> "DPVAE":
+        super().load_state_dict(state)
+        self._fitted_epsilon = float(state["fitted_epsilon"])
+        return self

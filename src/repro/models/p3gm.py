@@ -247,3 +247,54 @@ class P3GM(PGM):
         if self.accountant_ is None:
             return 0.0
         return self.accountant_.epsilon_baseline(self.delta)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(
+            epsilon=self.epsilon,
+            delta=self.delta,
+            epsilon_pca=self.epsilon_pca,
+            noise_multiplier=self.noise_multiplier,
+            sigma_em=self.sigma_em,
+            max_grad_norm=self.max_grad_norm,
+            clip_norm=self.clip_norm,
+        )
+        return config
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # The Theorem-4 accountant is stored by its parameters and rebuilt on
+        # load, so privacy_spent() is *recomputed* from the composition rather
+        # than trusted as an opaque number — and still round-trips exactly
+        # because the computation is deterministic in the stored float64s.
+        state["privacy.noise_multiplier"] = np.asarray(self.noise_multiplier_)
+        state["privacy.sigma_em"] = np.asarray(self.sigma_em_)
+        state["accountant.epsilon_pca"] = np.asarray(self.accountant_.epsilon_pca)
+        state["accountant.sample_rate"] = np.asarray(self.accountant_.sample_rate)
+        state["accountant.sgd_steps"] = np.asarray(self.accountant_.sgd_steps)
+        state["accountant.max_order"] = np.asarray(self.accountant_.max_order)
+        state["accountant.sgd_accounting"] = np.asarray(self.accountant_.sgd_accounting)
+        return state
+
+    def load_state_dict(self, state: dict) -> "P3GM":
+        # Restore the calibrated noise scales first: the prior rebuilt by the
+        # parent loader is a DPGaussianMixture parameterised by sigma_em_.
+        self.noise_multiplier_ = float(state["privacy.noise_multiplier"])
+        self.sigma_em_ = float(state["privacy.sigma_em"])
+        self.accountant_ = P3GMAccountant(
+            epsilon_pca=float(state["accountant.epsilon_pca"]),
+            sigma_em=self.sigma_em_,
+            em_iterations=self.em_iterations,
+            n_components=self.n_mixture_components,
+            sigma_sgd=self.noise_multiplier_,
+            sample_rate=float(state["accountant.sample_rate"]),
+            sgd_steps=int(state["accountant.sgd_steps"]),
+            max_order=int(state["accountant.max_order"]),
+            sgd_accounting=state["accountant.sgd_accounting"].item(),
+        )
+        super().load_state_dict(state)
+        return self

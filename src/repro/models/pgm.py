@@ -28,12 +28,12 @@ from repro.decomposition import PCA
 from repro.engine import EpochHook, HistoryLogger, Trainer, make_sampler
 from repro.mixture import GaussianMixture
 from repro.mixture.kl import kl_gaussian_to_mog
-from repro.models.base import GenerativeModel, LabelEncodingMixin
+from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
 from repro.nn import MLP, Adam, Tensor, no_grad
 from repro.nn import functional as F
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_array, check_positive
+from repro.utils.validation import check_array, check_n_samples, check_positive
 
 __all__ = ["PGM"]
 
@@ -278,18 +278,83 @@ class PGM(GenerativeModel, LabelEncodingMixin):
             reconstruction, _ = self._per_example_loss(data, projected)
         return float(reconstruction.data.mean())
 
-    def sample(self, n_samples: int) -> np.ndarray:
+    def sample(self, n_samples: int, rng=None) -> np.ndarray:
         """Data synthesis (Section IV-E): ``z ~ MoG(lambda)``, then decode."""
+        n_samples = check_n_samples(n_samples)
         self._check_fitted()
-        if n_samples < 1:
-            raise ValueError("n_samples must be >= 1")
-        latent, _ = self.prior.sample(n_samples, rng=self._rng)
+        rng = self._rng if rng is None else as_generator(rng)
+        latent, _ = self.prior.sample(n_samples, rng=rng)
         with no_grad():
             decoded = self.decoder(Tensor(latent)).data
         return np.clip(decoded, 0.0, 1.0) if self.decoder_type == "bernoulli" else decoded
 
     def privacy_spent(self) -> tuple:
         return (float("inf"), 0.0)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def get_config(self) -> dict:
+        return {
+            "latent_dim": self.latent_dim,
+            "n_mixture_components": self.n_mixture_components,
+            "em_iterations": self.em_iterations,
+            "hidden": list(self.hidden),
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "decoder_type": self.decoder_type,
+            "variance_mode": self.variance_mode,
+            "fixed_variance": self.fixed_variance,
+            "label_repeat": self.label_repeat,
+            "sampler": self.sampler,
+        }
+
+    def state_dict(self) -> dict:
+        self._check_fitted()
+        state = {
+            "n_input_features": np.asarray(self.n_input_features_),
+            "effective_latent_dim": np.asarray(self.effective_latent_dim_),
+            "has_reducer": np.asarray(self.reducer is not None),
+        }
+        state.update(self._label_state_dict())
+        if self.reducer is not None:
+            state["reducer.components"] = self.reducer.components_
+            state["reducer.explained_variance"] = self.reducer.explained_variance_
+            state["reducer.mean"] = self.reducer.mean_
+        state["prior.weights"] = self.prior.weights_
+        state["prior.means"] = self.prior.means_
+        state["prior.covariances"] = self.prior.covariances_
+        state.update(pack_state("variance_head.", self.variance_head.state_dict()))
+        state.update(pack_state("decoder.", self.decoder.state_dict()))
+        return state
+
+    def load_state_dict(self, state: dict) -> "PGM":
+        self.n_input_features_ = int(state["n_input_features"])
+        self.effective_latent_dim_ = int(state["effective_latent_dim"])
+        self._load_label_state(state)
+        if bool(state["has_reducer"]):
+            self.reducer = self._build_reducer(self.n_input_features_)
+            if self.reducer is None:
+                raise ValueError(
+                    "state dict carries a dimensionality reduction but this "
+                    f"configuration (latent_dim={self.latent_dim} >= "
+                    f"{self.n_input_features_} features) would not build one"
+                )
+            self.reducer.components_ = np.asarray(state["reducer.components"])
+            self.reducer.explained_variance_ = np.asarray(state["reducer.explained_variance"])
+            self.reducer.mean_ = np.asarray(state["reducer.mean"])
+        else:
+            self.reducer = None
+        self.prior = self._build_prior()
+        self.prior.set_parameters(
+            state["prior.weights"], state["prior.means"], state["prior.covariances"]
+        )
+        self._build_networks(self.n_input_features_)
+        self.variance_head.load_state_dict(unpack_state(state, "variance_head."))
+        self.decoder.load_state_dict(unpack_state(state, "decoder."))
+        return self
 
     def _check_fitted(self) -> None:
         if self.decoder is None or self.prior is None:

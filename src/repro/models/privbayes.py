@@ -32,7 +32,12 @@ import numpy as np
 from repro.models.base import GenerativeModel
 from repro.privacy.mechanisms import laplace_mechanism
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_array, check_positive, check_probability
+from repro.utils.validation import (
+    check_array,
+    check_n_samples,
+    check_positive,
+    check_probability,
+)
 
 __all__ = ["PrivBayes"]
 
@@ -68,6 +73,19 @@ class _Attribute:
         low = self.edges[codes]
         high = self.edges[codes + 1]
         return rng.uniform(low, high)
+
+    @classmethod
+    def from_state(cls, kind: str, payload: np.ndarray) -> "_Attribute":
+        """Rebuild an attribute from serialized categories/bin-edges."""
+        attribute = cls.__new__(cls)
+        attribute.kind = kind
+        if kind == "categorical":
+            attribute.categories = payload
+            attribute.n_levels = len(payload)
+        else:
+            attribute.edges = payload
+            attribute.n_levels = len(payload) - 1
+        return attribute
 
 
 class PrivBayes(GenerativeModel):
@@ -253,7 +271,7 @@ class PrivBayes(GenerativeModel):
         self._learn_conditionals(encoded, self.epsilon / 2.0)
         return self
 
-    def _sample_encoded(self, n_samples: int) -> np.ndarray:
+    def _sample_encoded(self, n_samples: int, rng) -> np.ndarray:
         n_attributes = len(self.attributes_)
         codes = np.zeros((n_samples, n_attributes), dtype=int)
         for attribute, parents in self.network_:
@@ -264,32 +282,41 @@ class PrivBayes(GenerativeModel):
                 parent_code = np.zeros(n_samples, dtype=int)
             # Vectorised inverse-CDF sampling from each row's conditional.
             cdf = np.cumsum(table[parent_code], axis=1)
-            uniform = self._rng.random(n_samples)
+            uniform = rng.random(n_samples)
             codes[:, attribute] = (uniform[:, None] > cdf).sum(axis=1)
         return codes
 
-    def sample(self, n_samples: int) -> np.ndarray:
+    def sample(self, n_samples: int, rng=None) -> np.ndarray:
+        n_samples = check_n_samples(n_samples)
         self._check_fitted()
-        if n_samples < 1:
-            raise ValueError("n_samples must be >= 1")
-        codes = self._sample_encoded(n_samples)
+        rng = self._rng if rng is None else as_generator(rng)
+        codes = self._sample_encoded(n_samples, rng)
         columns = [
-            attr.decode(codes[:, j], self._rng) for j, attr in enumerate(self.attributes_)
+            attr.decode(codes[:, j], rng) for j, attr in enumerate(self.attributes_)
         ]
         rows = np.column_stack(columns)
         if self._has_labels:
             return rows[:, : self.n_input_features_]
         return rows
 
-    def sample_labeled(self, n_samples: int, match_ratio: bool = True, rng=None):
+    def sample_labeled(
+        self,
+        n_samples: int,
+        match_ratio: bool = True,
+        rng=None,
+        generation_rng=None,
+        class_counts=None,
+    ):
         """Sample ``(X, y)`` with the training label ratio (same protocol as the mixin)."""
+        n_samples = check_n_samples(n_samples)
         self._check_fitted()
         if not self._has_labels:
             raise RuntimeError("model was fitted without labels; use sample() instead")
         rng = as_generator(rng)
-        codes = self._sample_encoded(max(2 * n_samples, 4 * len(self._classes)))
+        draw_rng = self._rng if generation_rng is None else as_generator(generation_rng)
+        codes = self._sample_encoded(max(2 * n_samples, 4 * len(self._classes)), draw_rng)
         columns = [
-            attr.decode(codes[:, j], self._rng) for j, attr in enumerate(self.attributes_)
+            attr.decode(codes[:, j], draw_rng) for j, attr in enumerate(self.attributes_)
         ]
         rows = np.column_stack(columns)
         features = rows[:, : self.n_input_features_]
@@ -301,8 +328,19 @@ class PrivBayes(GenerativeModel):
             chosen = rng.choice(len(features), size=n_samples, replace=False)
             return features[chosen], self._classes[generated_labels[chosen]]
 
-        quotas = np.round(self._label_ratio * n_samples).astype(int)
-        quotas[np.argmax(quotas)] += n_samples - quotas.sum()
+        if class_counts is not None:
+            quotas = np.asarray(class_counts, dtype=np.int64)
+            if quotas.shape != (len(self._classes),) or (quotas < 0).any():
+                raise ValueError(
+                    f"class_counts must be {len(self._classes)} non-negative integers"
+                )
+            if quotas.sum() != n_samples:
+                raise ValueError(
+                    f"class_counts sum to {quotas.sum()} but n_samples is {n_samples}"
+                )
+        else:
+            quotas = np.round(self._label_ratio * n_samples).astype(int)
+            quotas[np.argmax(quotas)] += n_samples - quotas.sum()
         selected, labels_out = [], []
         for class_index, quota in enumerate(quotas):
             if quota == 0:
@@ -324,6 +362,67 @@ class PrivBayes(GenerativeModel):
         if self.network_ is None:
             return (0.0, 0.0)
         return (self.epsilon, 0.0)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def get_config(self) -> dict:
+        return {
+            "epsilon": self.epsilon,
+            "degree": self.degree,
+            "n_bins": self.n_bins,
+            "max_parent_candidates": self.max_parent_candidates,
+        }
+
+    def state_dict(self) -> dict:
+        self._check_fitted()
+        state = {
+            "n_input_features": np.asarray(self.n_input_features_),
+            "has_labels": np.asarray(self._has_labels),
+            "n_attributes": np.asarray(len(self.attributes_)),
+            "network.order": np.asarray([attr for attr, _ in self.network_]),
+        }
+        if self._has_labels:
+            state["label.classes"] = np.asarray(self._classes)
+            state["label.ratio"] = np.asarray(self._label_ratio)
+        for j, attribute in enumerate(self.attributes_):
+            state[f"attribute_{j}.kind"] = np.asarray(attribute.kind)
+            payload = (
+                attribute.categories if attribute.kind == "categorical" else attribute.edges
+            )
+            state[f"attribute_{j}.payload"] = np.asarray(payload)
+        for position, (attribute, parents) in enumerate(self.network_):
+            state[f"network.parents_{position}"] = np.asarray(parents, dtype=np.int64)
+            state[f"conditional_{attribute}"] = self.conditionals_[attribute][1]
+        return state
+
+    def load_state_dict(self, state: dict) -> "PrivBayes":
+        self.n_input_features_ = int(state["n_input_features"])
+        self._has_labels = bool(state["has_labels"])
+        if self._has_labels:
+            self._classes = np.asarray(state["label.classes"])
+            self._label_ratio = np.asarray(state["label.ratio"], dtype=np.float64)
+        else:
+            self._classes = None
+            self._label_ratio = None
+        self.attributes_ = [
+            _Attribute.from_state(
+                state[f"attribute_{j}.kind"].item(), np.asarray(state[f"attribute_{j}.payload"])
+            )
+            for j in range(int(state["n_attributes"]))
+        ]
+        order = np.asarray(state["network.order"], dtype=np.int64)
+        self.network_ = []
+        self.conditionals_ = {}
+        for position, attribute in enumerate(order):
+            attribute = int(attribute)
+            parents = tuple(
+                int(p) for p in np.asarray(state[f"network.parents_{position}"], dtype=np.int64)
+            )
+            self.network_.append((attribute, parents))
+            self.conditionals_[attribute] = (parents, np.asarray(state[f"conditional_{attribute}"]))
+        return self
 
     def _check_fitted(self) -> None:
         if self.network_ is None:

@@ -15,12 +15,12 @@ from typing import Optional
 import numpy as np
 
 from repro.engine import EpochHook, HistoryLogger, Trainer, make_sampler
-from repro.models.base import GenerativeModel, LabelEncodingMixin
+from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
 from repro.nn import MLP, Adam, Tensor, no_grad
 from repro.nn import functional as F
 from repro.utils.logging import TrainingHistory
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_array, check_positive
+from repro.utils.validation import check_array, check_n_samples, check_positive
 
 __all__ = ["VAE"]
 
@@ -181,21 +181,51 @@ class VAE(GenerativeModel, LabelEncodingMixin):
 
     # -- sampling ----------------------------------------------------------------------------
 
-    def sample(self, n_samples: int) -> np.ndarray:
+    def sample(self, n_samples: int, rng=None) -> np.ndarray:
         """Draw synthetic rows (features + one-hot label block if labelled)."""
+        n_samples = check_n_samples(n_samples)
         self._check_fitted()
-        if n_samples < 1:
-            raise ValueError("n_samples must be >= 1")
-        latent = self._sample_latent(n_samples)
+        rng = self._rng if rng is None else as_generator(rng)
+        latent = self._sample_latent(n_samples, rng)
         with no_grad():
             decoded = self.decoder(Tensor(latent)).data
         return np.clip(decoded, 0.0, 1.0) if self.decoder_type == "bernoulli" else decoded
 
-    def _sample_latent(self, n_samples: int) -> np.ndarray:
-        return self._rng.normal(size=(n_samples, self.latent_dim))
+    def _sample_latent(self, n_samples: int, rng) -> np.ndarray:
+        return rng.normal(size=(n_samples, self.latent_dim))
 
     def privacy_spent(self) -> tuple:
         return (float("inf"), 0.0)
+
+    # -- persistence -------------------------------------------------------------------------
+
+    def get_config(self) -> dict:
+        return {
+            "latent_dim": self.latent_dim,
+            "hidden": list(self.hidden),
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "learning_rate": self.learning_rate,
+            "decoder_type": self.decoder_type,
+            "label_repeat": self.label_repeat,
+            "sampler": self.sampler,
+        }
+
+    def state_dict(self) -> dict:
+        self._check_fitted()
+        state = {"n_input_features": np.asarray(self.n_input_features_)}
+        state.update(self._label_state_dict())
+        state.update(pack_state("encoder.", self.encoder.state_dict()))
+        state.update(pack_state("decoder.", self.decoder.state_dict()))
+        return state
+
+    def load_state_dict(self, state: dict) -> "VAE":
+        self.n_input_features_ = int(state["n_input_features"])
+        self._load_label_state(state)
+        self._build(self.n_input_features_)
+        self.encoder.load_state_dict(unpack_state(state, "encoder."))
+        self.decoder.load_state_dict(unpack_state(state, "decoder."))
+        return self
 
     def _check_fitted(self) -> None:
         if self.decoder is None:

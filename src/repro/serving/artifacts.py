@@ -1,0 +1,181 @@
+"""Versioned on-disk artifacts for trained synthesizers.
+
+An artifact is a directory holding exactly two files:
+
+- ``manifest.json`` — the release record: artifact format version, model
+  class, hyper-parameters (the model's ``get_config()``), the data schema the
+  model was fitted on, and the ``(epsilon, delta)`` privacy guarantee actually
+  spent.  Everything a consumer needs to decide whether to trust and how to
+  query the model, without loading any weights.
+- ``weights.npz`` — the fitted state (``model.state_dict()``) as plain numpy
+  arrays.  Object arrays are never written, so loading uses
+  ``allow_pickle=False`` and artifacts cannot execute code on load.
+
+Loading refuses unknown format versions and model-class mismatches with
+explicit errors rather than producing a silently wrong synthesizer.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.serving.registry import MODEL_REGISTRY, resolve_model_class
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "load_artifact",
+    "manifest_privacy",
+    "read_manifest",
+    "save_artifact",
+]
+
+ARTIFACT_FORMAT_VERSION = 1
+SUPPORTED_FORMAT_VERSIONS = (1,)
+MANIFEST_FILENAME = "manifest.json"
+WEIGHTS_FILENAME = "weights.npz"
+
+
+class ArtifactError(RuntimeError):
+    """A model artifact is missing, malformed, or incompatible."""
+
+
+def _encode_float(value: float):
+    """JSON-safe float: non-finite values become strings ('inf', 'nan')."""
+    value = float(value)
+    return value if np.isfinite(value) else repr(value)
+
+
+def _decode_float(value) -> float:
+    return float(value)
+
+
+def _registry_name_for(model) -> Optional[str]:
+    for spec in MODEL_REGISTRY.values():
+        if type(model) is spec.cls:
+            return spec.name
+    return None
+
+
+def _schema_of(model) -> dict:
+    classes = getattr(model, "_classes", None)
+    return {
+        "n_input_features": int(model.n_input_features_),
+        "classes": None if classes is None else np.asarray(classes).tolist(),
+    }
+
+
+def save_artifact(model, path, name: Optional[str] = None, metadata: Optional[dict] = None) -> Path:
+    """Write a fitted synthesizer to ``path`` (a directory) and return it.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`repro.models.GenerativeModel`.
+    name:
+        Human-readable artifact name recorded in the manifest (defaults to the
+        model's registry name).
+    metadata:
+        Optional JSON-serialisable extras (e.g. the training dataset and seed)
+        stored verbatim under the manifest's ``metadata`` key.
+    """
+    path = Path(path)
+    state = model.state_dict()  # raises if the model is not fitted
+    epsilon, delta = model.privacy_spent()
+    manifest = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "repro_version": __version__,
+        "model_class": type(model).__name__,
+        "name": name or _registry_name_for(model) or type(model).__name__.lower(),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "hyperparameters": model.get_config(),
+        "privacy": {"epsilon": _encode_float(epsilon), "delta": _encode_float(delta)},
+        "schema": _schema_of(model),
+        "state_entries": len(state),
+        "metadata": metadata or {},
+    }
+    path.mkdir(parents=True, exist_ok=True)
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    np.savez(path / WEIGHTS_FILENAME, **state)
+    return path
+
+
+def read_manifest(path) -> dict:
+    """Read and structurally validate an artifact's manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not a model artifact: missing {MANIFEST_FILENAME}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"{manifest_path} is not valid JSON: {error}") from error
+    for key in ("format_version", "model_class", "hyperparameters", "privacy"):
+        if key not in manifest:
+            raise ArtifactError(f"{manifest_path} is missing required key {key!r}")
+    version = manifest["format_version"]
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ArtifactError(
+            f"artifact format version {version!r} is not supported by this build "
+            f"(supported: {list(SUPPORTED_FORMAT_VERSIONS)}); refusing to load {path}"
+        )
+    return manifest
+
+
+def manifest_privacy(manifest: dict) -> tuple:
+    """The ``(epsilon, delta)`` recorded in a manifest, as floats."""
+    privacy = manifest["privacy"]
+    return (_decode_float(privacy["epsilon"]), _decode_float(privacy["delta"]))
+
+
+def load_artifact(path, expected_class=None):
+    """Load a synthesizer from an artifact directory.
+
+    Parameters
+    ----------
+    path:
+        Artifact directory produced by :func:`save_artifact`.
+    expected_class:
+        Optional class (or class name) the caller requires; a mismatch raises
+        :class:`ArtifactError` instead of handing back a different model type.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    class_name = manifest["model_class"]
+    if expected_class is not None:
+        expected_name = (
+            expected_class if isinstance(expected_class, str) else expected_class.__name__
+        )
+        if class_name != expected_name:
+            raise ArtifactError(
+                f"artifact {path} holds a {class_name} model, not the requested "
+                f"{expected_name}"
+            )
+    try:
+        cls = resolve_model_class(class_name)
+    except KeyError as error:
+        raise ArtifactError(str(error)) from error
+
+    weights_path = path / WEIGHTS_FILENAME
+    if not weights_path.is_file():
+        raise ArtifactError(f"{path} is not a model artifact: missing {WEIGHTS_FILENAME}")
+    try:
+        model = cls(**manifest["hyperparameters"])
+    except (TypeError, ValueError) as error:
+        raise ArtifactError(
+            f"artifact {path} carries hyperparameters {class_name} does not accept "
+            f"(manifest written by a different build?): {error}"
+        ) from error
+    with np.load(weights_path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files}
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise ArtifactError(f"artifact {path} has corrupt or incompatible weights: {error}") from error
+    return model

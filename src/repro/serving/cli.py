@@ -1,0 +1,264 @@
+"""``python -m repro`` — train, release, inspect, and query synthesizers.
+
+Subcommands
+-----------
+- ``train``    — fit a registered synthesizer on a simulated dataset and write
+  a versioned artifact (weights + manifest).
+- ``sample``   — stream synthetic rows from an artifact to CSV/stdout in
+  bounded-memory chunks (``-n 10_000_000`` never builds one dense array).
+- ``evaluate`` — run the paper's utility protocol (classifiers trained on
+  synthetic data, tested on real data) against a released artifact.
+- ``inspect``  — print an artifact's manifest, including the ``(epsilon,
+  delta)`` guarantee recorded at release time.
+
+Examples::
+
+    python -m repro train --model p3gm --dataset credit --rows 2000 \
+        --epochs 2 --hidden 64 --epsilon 1.0 --output artifacts/p3gm-credit
+    python -m repro inspect --artifact artifacts/p3gm-credit
+    python -m repro sample --artifact artifacts/p3gm-credit -n 1_000_000 \
+        --chunk-size 8192 --seed 7 --output synthetic.csv
+    python -m repro evaluate --artifact artifacts/p3gm-credit
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.serving.artifacts import (
+    ArtifactError,
+    load_artifact,
+    manifest_privacy,
+    read_manifest,
+    save_artifact,
+)
+from repro.serving.registry import get_model_spec, registered_synthesizers
+from repro.serving.service import DEFAULT_CHUNK_SIZE, SynthesisService
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_hidden(text: str) -> tuple:
+    return tuple(int(width) for width in text.split(",") if width.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Train, release, inspect, and query private synthesizers.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="fit a synthesizer and write an artifact")
+    train.add_argument("--model", required=True, choices=registered_synthesizers())
+    train.add_argument("--dataset", required=True, help="dataset registry name (e.g. credit)")
+    train.add_argument("--rows", type=int, default=None, help="simulated dataset size")
+    train.add_argument("--output", required=True, type=Path, help="artifact directory to write")
+    train.add_argument("--name", default=None, help="artifact name recorded in the manifest")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--unlabeled", action="store_true", help="fit without labels")
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--batch-size", type=int, default=None)
+    train.add_argument("--latent-dim", type=int, default=None)
+    train.add_argument("--hidden", type=_parse_hidden, default=None, help="comma-separated widths")
+    train.add_argument("--learning-rate", type=float, default=None)
+    train.add_argument("--epsilon", type=float, default=None)
+    train.add_argument("--delta", type=float, default=None)
+    train.add_argument("--noise-multiplier", type=float, default=None)
+
+    sample = subparsers.add_parser("sample", help="stream synthetic rows from an artifact")
+    sample.add_argument("--artifact", required=True, type=Path)
+    sample.add_argument("-n", "--n-samples", required=True, type=int)
+    sample.add_argument("--output", default="-", help="CSV path ('-' for stdout)")
+    sample.add_argument("--seed", type=int, default=None, help="per-request seed")
+    sample.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
+    sample.add_argument("--labeled", action="store_true", help="emit (features, label) rows")
+    sample.add_argument("--no-header", action="store_true")
+
+    evaluate = subparsers.add_parser("evaluate", help="utility protocol against an artifact")
+    evaluate.add_argument("--artifact", required=True, type=Path)
+    evaluate.add_argument("--dataset", default=None, help="defaults to the training dataset")
+    evaluate.add_argument("--rows", type=int, default=None)
+    evaluate.add_argument("--synthetic-rows", type=int, default=None)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    inspect_cmd = subparsers.add_parser("inspect", help="print an artifact's manifest")
+    inspect_cmd.add_argument("--artifact", required=True, type=Path)
+    inspect_cmd.add_argument("--json", action="store_true", help="raw JSON output")
+    return parser
+
+
+# ----------------------------------------------------------------------------------
+# train
+# ----------------------------------------------------------------------------------
+
+
+def _model_kwargs(args: argparse.Namespace, cls: type) -> dict:
+    """Collect the hyper-parameters the user set and the class accepts."""
+    requested = {
+        "epochs": args.epochs,
+        "batch_size": args.batch_size,
+        "latent_dim": args.latent_dim,
+        "hidden": args.hidden,
+        "learning_rate": args.learning_rate,
+        "epsilon": args.epsilon,
+        "delta": args.delta,
+        "noise_multiplier": args.noise_multiplier,
+    }
+    accepted = set(inspect.signature(cls.__init__).parameters)
+    kwargs = {}
+    for key, value in requested.items():
+        if value is None:
+            continue
+        if key not in accepted:
+            print(f"note: {cls.__name__} does not take --{key.replace('_', '-')}; ignoring")
+            continue
+        kwargs[key] = value
+    return kwargs
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = get_model_spec(args.model)
+    data = load_dataset(args.dataset, n_samples=args.rows, random_state=args.seed)
+    kwargs = _model_kwargs(args, spec.cls)
+    model = spec.cls(random_state=args.seed, **kwargs)
+    labels = None if args.unlabeled else data.y_train
+    print(f"training {spec.cls.__name__} on {data.name} ({len(data.X_train)} rows)...")
+    model.fit(data.X_train, labels)
+    epsilon, delta = model.privacy_spent()
+    metadata = {
+        "dataset": args.dataset,
+        "rows": len(data.X_train) + len(data.X_test),
+        "seed": args.seed,
+        "labeled": not args.unlabeled,
+    }
+    save_artifact(model, args.output, name=args.name or args.model, metadata=metadata)
+    print(f"privacy spent: epsilon={epsilon:.4g} delta={delta:g}")
+    print(f"artifact written to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------------------
+# sample
+# ----------------------------------------------------------------------------------
+
+
+@contextmanager
+def _open_output(target: str):
+    if target == "-":
+        yield sys.stdout
+    else:
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            yield handle
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    service = SynthesisService(chunk_size=args.chunk_size)
+    written = 0
+    with _open_output(args.output) as out:
+        if args.labeled:
+            chunks = service.stream_labeled(
+                args.artifact, args.n_samples, seed=args.seed, chunk_size=args.chunk_size
+            )
+            for X, y in chunks:
+                if written == 0 and not args.no_header:
+                    out.write(",".join([f"feature_{i}" for i in range(X.shape[1])] + ["label"]) + "\n")
+                for row, label in zip(X, y):
+                    out.write(",".join(f"{value:.10g}" for value in row) + f",{label}\n")
+                written += len(X)
+        else:
+            chunks = service.stream(
+                args.artifact, args.n_samples, seed=args.seed, chunk_size=args.chunk_size
+            )
+            for chunk in chunks:
+                if written == 0 and not args.no_header:
+                    out.write(",".join(f"column_{i}" for i in range(chunk.shape[1])) + "\n")
+                np.savetxt(out, chunk, delimiter=",", fmt="%.10g")
+                written += len(chunk)
+    if args.output != "-":
+        print(f"wrote {written} rows to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------------------
+# evaluate
+# ----------------------------------------------------------------------------------
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation import evaluate_artifact, format_rows
+
+    manifest = read_manifest(args.artifact)
+    metadata = manifest.get("metadata", {})
+    dataset_name = args.dataset or metadata.get("dataset")
+    if dataset_name is None:
+        print("error: artifact does not record its dataset; pass --dataset", file=sys.stderr)
+        return 2
+    rows = args.rows if args.rows is not None else metadata.get("rows")
+    # Regenerate the training-time dataset (same simulator seed) unless the
+    # caller explicitly evaluates on a different dataset.
+    dataset_seed = metadata.get("seed", args.seed) if args.dataset is None else args.seed
+    data = load_dataset(dataset_name, n_samples=rows, random_state=dataset_seed)
+    result = evaluate_artifact(
+        args.artifact, data, n_synthetic=args.synthetic_rows, random_state=args.seed
+    )
+    print(format_rows([result.as_row()], title=f"Utility of {manifest['name']} on {data.name}"))
+    return 0
+
+
+# ----------------------------------------------------------------------------------
+# inspect
+# ----------------------------------------------------------------------------------
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    manifest = read_manifest(args.artifact)
+    if args.json:
+        print(json.dumps(manifest, indent=2))
+        return 0
+    epsilon, delta = manifest_privacy(manifest)
+    schema = manifest.get("schema", {})
+    print(f"artifact:       {args.artifact}")
+    print(f"name:           {manifest['name']}")
+    print(f"model class:    {manifest['model_class']}")
+    print(f"format version: {manifest['format_version']} (repro {manifest.get('repro_version')})")
+    print(f"created at:     {manifest.get('created_at')}")
+    print(f"privacy spent:  epsilon={epsilon:.6g}  delta={delta:g}")
+    print(f"schema:         {schema.get('n_input_features')} input features, "
+          f"classes={schema.get('classes')}")
+    print("hyperparameters:")
+    for key, value in sorted(manifest["hyperparameters"].items()):
+        print(f"  {key} = {value}")
+    if manifest.get("metadata"):
+        print("metadata:")
+        for key, value in sorted(manifest["metadata"].items()):
+            print(f"  {key} = {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "train": _cmd_train,
+        "sample": _cmd_sample,
+        "evaluate": _cmd_evaluate,
+        "inspect": _cmd_inspect,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ArtifactError, KeyError, ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,199 @@
+"""Batched/streaming synthesis service over model artifacts.
+
+:class:`SynthesisService` is the query side of the release story: artifacts
+written by :func:`repro.serving.save_artifact` are loaded through a bounded
+LRU cache and queried for synthetic rows.  Large requests are served as a
+stream of bounded-size chunks, so ``n = 10_000_000`` never materialises one
+dense array — peak memory is governed by ``chunk_size``, not ``n``.
+
+Per-request seeds make draws reproducible: the same artifact, seed, and chunk
+size always produce the same rows, independent of what other requests the
+service has served before.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.serving.artifacts import ArtifactError, load_artifact, read_manifest
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_n_samples, check_positive
+
+__all__ = ["SynthesisService", "DEFAULT_CHUNK_SIZE"]
+
+DEFAULT_CHUNK_SIZE = 8192
+
+
+class SynthesisService:
+    """Serve ``sample`` / ``sample_labeled`` requests from saved artifacts.
+
+    Parameters
+    ----------
+    artifact_root:
+        Optional base directory; references that are not absolute paths or
+        registered names are resolved relative to it.
+    cache_size:
+        Maximum number of models held in memory at once (least recently used
+        models are evicted first).
+    chunk_size:
+        Default number of rows per streamed chunk (the memory bound).
+    """
+
+    def __init__(self, artifact_root=None, cache_size: int = 4, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        check_positive(cache_size, "cache_size")
+        check_positive(chunk_size, "chunk_size")
+        self.artifact_root = None if artifact_root is None else Path(artifact_root)
+        self.cache_size = int(cache_size)
+        self.chunk_size = int(chunk_size)
+        self._registry: dict = {}
+        self._cache: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- model resolution and caching ----------------------------------------------
+
+    def register(self, name: str, path) -> None:
+        """Register a short name for an artifact path."""
+        self._registry[name] = Path(path)
+
+    def resolve(self, ref) -> Path:
+        """Resolve a registered name or path to an artifact directory."""
+        if isinstance(ref, str) and ref in self._registry:
+            return self._registry[ref]
+        path = Path(ref)
+        if not path.is_absolute() and self.artifact_root is not None:
+            candidate = self.artifact_root / path
+            if candidate.exists() or not path.exists():
+                path = candidate
+        if not path.exists():
+            raise ArtifactError(f"no artifact found for {ref!r} (resolved to {path})")
+        return path
+
+    def get(self, ref):
+        """Return the loaded model for ``ref``, loading through the LRU cache."""
+        key = str(self.resolve(ref))
+        if key in self._cache:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self._misses += 1
+        model = load_artifact(key)
+        self._cache[key] = model
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return model
+
+    def manifest(self, ref) -> dict:
+        """The artifact's manifest (no weights are loaded)."""
+        return read_manifest(self.resolve(ref))
+
+    def evict(self, ref=None) -> None:
+        """Drop one model (or all of them) from the cache."""
+        if ref is None:
+            self._cache.clear()
+            return
+        self._cache.pop(str(self.resolve(ref)), None)
+
+    @property
+    def cache_stats(self) -> dict:
+        return {
+            "size": len(self._cache),
+            "capacity": self.cache_size,
+            "hits": self._hits,
+            "misses": self._misses,
+            "cached": list(self._cache),
+        }
+
+    # -- synthesis ------------------------------------------------------------------
+
+    def _open_request(self, ref, n_samples, chunk_size):
+        """Shared stream prologue: validate, resolve the model, build the rng."""
+        n_samples = check_n_samples(n_samples)
+        chunk_size = self.chunk_size if chunk_size is None else int(
+            check_positive(chunk_size, "chunk_size")
+        )
+        return n_samples, chunk_size, self.get(ref)
+
+    def _request_rng(self, seed) -> Optional[np.random.Generator]:
+        return None if seed is None else as_generator(seed)
+
+    def stream(
+        self, ref, n_samples: int, seed=None, chunk_size: Optional[int] = None
+    ) -> Iterator[np.ndarray]:
+        """Yield synthetic feature rows in chunks of at most ``chunk_size``.
+
+        The generator draws lazily, so peak memory is one chunk (plus the
+        model), regardless of ``n_samples``.
+        """
+        n_samples, chunk_size, model = self._open_request(ref, n_samples, chunk_size)
+        rng = self._request_rng(seed)
+
+        def generate():
+            remaining = n_samples
+            while remaining > 0:
+                take = min(chunk_size, remaining)
+                yield model.sample(take, rng=rng)
+                remaining -= take
+
+        return generate()
+
+    def stream_labeled(
+        self, ref, n_samples: int, seed=None, chunk_size: Optional[int] = None
+    ) -> Iterator[tuple]:
+        """Yield ``(X, y)`` chunks whose *totals* match the training label ratio.
+
+        Per-chunk class counts are allocated against the whole request's
+        quotas (monotone cumulative rounding), not re-rounded per chunk —
+        otherwise any class with ratio below ``0.5 / chunk_size`` would be
+        rounded to zero in every chunk and silently vanish from the release.
+        """
+        n_samples, chunk_size, model = self._open_request(ref, n_samples, chunk_size)
+        rng = self._request_rng(seed)
+        ratio = getattr(model, "_label_ratio", None)
+        if ratio is None:
+            raise ArtifactError(
+                f"model {ref!r} was trained without labels; use stream() instead"
+            )
+        total_quotas = np.round(np.asarray(ratio) * n_samples).astype(np.int64)
+        total_quotas[np.argmax(total_quotas)] += n_samples - total_quotas.sum()
+
+        def generate():
+            emitted = np.zeros_like(total_quotas)
+            served = 0
+            while served < n_samples:
+                take = min(chunk_size, n_samples - served)
+                served += take
+                # Monotone cumulative targets guarantee non-negative chunk
+                # counts; the floor shortfall (< n_classes rows) is topped up
+                # from the classes with the most remaining headroom.
+                cumulative = (total_quotas * served) // n_samples
+                counts = np.maximum(cumulative - emitted, 0)
+                for _ in range(int(take - counts.sum())):
+                    counts[np.argmax(total_quotas - (emitted + counts))] += 1
+                emitted += counts
+                yield model.sample_labeled(
+                    take, rng=rng, generation_rng=rng, class_counts=counts
+                )
+
+        return generate()
+
+    def sample(self, ref, n_samples: int, seed=None, chunk_size: Optional[int] = None) -> np.ndarray:
+        """Materialised convenience wrapper around :meth:`stream`."""
+        return np.vstack(list(self.stream(ref, n_samples, seed=seed, chunk_size=chunk_size)))
+
+    def sample_labeled(self, ref, n_samples: int, seed=None, chunk_size: Optional[int] = None):
+        """Materialised convenience wrapper around :meth:`stream_labeled`."""
+        chunks = list(self.stream_labeled(ref, n_samples, seed=seed, chunk_size=chunk_size))
+        X = np.vstack([chunk[0] for chunk in chunks])
+        y = np.concatenate([chunk[1] for chunk in chunks])
+        return X, y
+
+    def privacy(self, ref) -> tuple:
+        """The ``(epsilon, delta)`` guarantee of a released model."""
+        from repro.serving.artifacts import manifest_privacy
+
+        return manifest_privacy(self.manifest(ref))

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["check_array", "check_X_y", "check_positive", "check_probability"]
+__all__ = [
+    "check_array",
+    "check_X_y",
+    "check_n_samples",
+    "check_positive",
+    "check_probability",
+]
 
 
 def check_array(X, name: str = "X", ndim: int = 2, dtype=np.float64) -> np.ndarray:
@@ -39,6 +45,20 @@ def check_X_y(X, y, name_x: str = "X", name_y: str = "y"):
             f"{name_x} and {name_y} have inconsistent lengths: {len(X)} vs {len(y)}"
         )
     return X, y
+
+
+def check_n_samples(n_samples, name: str = "n_samples") -> int:
+    """Validate a requested sample count; shared by every synthesizer.
+
+    Accepts python and numpy integers (but not booleans) and requires the
+    value to be at least 1.  Returns the count as a plain ``int`` so callers
+    can rely on native integer arithmetic.
+    """
+    if isinstance(n_samples, bool) or not isinstance(n_samples, (int, np.integer)):
+        raise ValueError(f"{name} must be a positive integer; got {n_samples!r}")
+    if n_samples < 1:
+        raise ValueError(f"{name} must be a positive integer; got {n_samples!r}")
+    return int(n_samples)
 
 
 def check_positive(value, name: str, strict: bool = True):

@@ -1,0 +1,46 @@
+"""Shared ``n_samples`` validation across every synthesizer (satellite task).
+
+All six models must reject non-positive and non-integer sample counts with
+the one shared error message from ``repro.utils.validation.check_n_samples``,
+before any fitted-state check runs (so the contract is testable without
+training).
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import DPGM, DPVAE, P3GM, PGM, PrivBayes, VAE
+
+MESSAGE = "n_samples must be a positive integer"
+
+MODELS = {
+    "VAE": lambda: VAE(),
+    "DPVAE": lambda: DPVAE(),
+    "PGM": lambda: PGM(),
+    "P3GM": lambda: P3GM(),
+    "DPGM": lambda: DPGM(),
+    "PrivBayes": lambda: PrivBayes(),
+}
+
+BAD_COUNTS = [0, -1, -100, 2.5, 10.0, "12", None, True, np.float64(3.0)]
+
+
+@pytest.mark.parametrize("factory", MODELS.values(), ids=MODELS.keys())
+@pytest.mark.parametrize("bad", BAD_COUNTS, ids=[repr(b) for b in BAD_COUNTS])
+def test_sample_rejects_invalid_counts_with_shared_message(factory, bad):
+    with pytest.raises(ValueError, match=MESSAGE):
+        factory().sample(bad)
+
+
+@pytest.mark.parametrize("factory", MODELS.values(), ids=MODELS.keys())
+@pytest.mark.parametrize("bad", BAD_COUNTS, ids=[repr(b) for b in BAD_COUNTS])
+def test_sample_labeled_rejects_invalid_counts_with_shared_message(factory, bad):
+    with pytest.raises(ValueError, match=MESSAGE):
+        factory().sample_labeled(bad)
+
+
+@pytest.mark.parametrize("factory", MODELS.values(), ids=MODELS.keys())
+def test_numpy_integers_are_accepted(factory):
+    # numpy integer counts must pass validation and only fail on fitted-state.
+    with pytest.raises(RuntimeError, match="not fitted|without labels"):
+        factory().sample(np.int64(5))

@@ -1,0 +1,46 @@
+"""Shared fixtures for the serving tests: tiny data and tiny synthesizers."""
+
+import numpy as np
+import pytest
+
+from repro.models import DPGM, DPVAE, P3GM, PGM, PrivBayes, VAE
+
+#: Laptop-instant configurations for every registered synthesizer, keyed by
+#: registry name (kept in sync with repro.serving.registry by a test).
+TINY_FACTORIES = {
+    "vae": lambda: VAE(latent_dim=3, hidden=(16,), epochs=1, batch_size=50, random_state=0),
+    "dp-vae": lambda: DPVAE(
+        latent_dim=3, hidden=(16,), epochs=1, batch_size=50, epsilon=5.0, random_state=0
+    ),
+    "pgm": lambda: PGM(
+        latent_dim=3, n_mixture_components=2, em_iterations=3, hidden=(16,),
+        epochs=1, batch_size=50, random_state=0,
+    ),
+    "p3gm": lambda: P3GM(
+        latent_dim=3, n_mixture_components=2, em_iterations=3, hidden=(16,),
+        epochs=1, batch_size=50, epsilon=2.0, noise_multiplier=1.5, random_state=0,
+    ),
+    "dp-gm": lambda: DPGM(
+        n_clusters=2, latent_dim=2, hidden=(8,), epochs=1, batch_size=50,
+        epsilon=2.0, min_cluster_size=10, random_state=0,
+    ),
+    "privbayes": lambda: PrivBayes(epsilon=1.0, random_state=0),
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_labeled_data():
+    """Two separated classes, 150 x 8, features in [0, 1]."""
+    rng = np.random.default_rng(3)
+    n, d = 150, 8
+    centers = np.vstack([np.full(d, 0.3), np.full(d, 0.7)])
+    y = rng.integers(0, 2, n)
+    X = np.clip(centers[y] + 0.1 * rng.normal(size=(n, d)), 0.0, 1.0)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted_models(tiny_labeled_data):
+    """Every registered synthesizer, fitted once per module on the tiny data."""
+    X, y = tiny_labeled_data
+    return {name: factory().fit(X, y) for name, factory in TINY_FACTORIES.items()}

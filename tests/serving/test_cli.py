@@ -1,0 +1,136 @@
+"""End-to-end tests for the ``python -m repro`` command line."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import save_artifact
+from repro.serving.cli import main
+
+
+@pytest.fixture(scope="module")
+def trained_artifact(tmp_path_factory):
+    """A tiny VAE trained through the real ``train`` subcommand."""
+    path = tmp_path_factory.mktemp("cli") / "vae-credit"
+    code = main(
+        [
+            "train", "--model", "vae", "--dataset", "credit", "--rows", "300",
+            "--epochs", "1", "--hidden", "16", "--latent-dim", "3",
+            "--output", str(path), "--seed", "0",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestTrain:
+    def test_artifact_written_with_training_metadata(self, trained_artifact):
+        manifest = json.loads((trained_artifact / "manifest.json").read_text())
+        assert manifest["model_class"] == "VAE"
+        assert manifest["metadata"] == {
+            "dataset": "credit", "rows": 300, "seed": 0, "labeled": True,
+        }
+        assert manifest["hyperparameters"]["hidden"] == [16]
+
+    def test_inapplicable_hyperparameters_are_ignored_not_fatal(self, tmp_path, capsys):
+        code = main(
+            [
+                "train", "--model", "privbayes", "--dataset", "credit", "--rows", "200",
+                "--epochs", "3", "--epsilon", "1.0", "--output", str(tmp_path / "pb"),
+            ]
+        )
+        assert code == 0
+        assert "does not take --epochs" in capsys.readouterr().out
+
+
+class TestSample:
+    def test_streams_csv_with_header(self, trained_artifact, tmp_path):
+        out = tmp_path / "rows.csv"
+        code = main(
+            [
+                "sample", "--artifact", str(trained_artifact), "-n", "500",
+                "--chunk-size", "128", "--seed", "1", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 501  # header + rows
+        assert lines[0].startswith("column_0,")
+        assert len(lines[1].split(",")) == len(lines[0].split(","))
+
+    def test_same_seed_gives_identical_csv(self, trained_artifact, tmp_path):
+        outputs = []
+        for run in range(2):
+            out = tmp_path / f"run{run}.csv"
+            main(
+                [
+                    "sample", "--artifact", str(trained_artifact), "-n", "64",
+                    "--seed", "42", "--output", str(out),
+                ]
+            )
+            outputs.append(out.read_text())
+        assert outputs[0] == outputs[1]
+
+    def test_labeled_csv_has_label_column(self, trained_artifact, tmp_path):
+        out = tmp_path / "labeled.csv"
+        code = main(
+            [
+                "sample", "--artifact", str(trained_artifact), "-n", "40",
+                "--labeled", "--seed", "3", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0].endswith(",label")
+        labels = {line.rsplit(",", 1)[1] for line in lines[1:]}
+        assert labels <= {"0", "1"}
+
+    def test_bad_artifact_path_exits_nonzero(self, tmp_path, capsys):
+        code = main(["sample", "--artifact", str(tmp_path / "missing"), "-n", "10"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_labeled_sampling_from_unlabeled_artifact_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "unlabeled"
+        main(
+            [
+                "train", "--model", "vae", "--dataset", "credit", "--rows", "200",
+                "--epochs", "1", "--hidden", "8", "--unlabeled", "--output", str(path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["sample", "--artifact", str(path), "-n", "10", "--labeled"])
+        assert code == 2
+        assert "without labels" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_prints_privacy_and_hyperparameters(self, trained_artifact, capsys):
+        assert main(["inspect", "--artifact", str(trained_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "privacy spent:" in out
+        assert "epsilon=inf" in out
+        assert "model class:    VAE" in out
+        assert "latent_dim = 3" in out
+
+    def test_json_mode_round_trips(self, trained_artifact, capsys):
+        assert main(["inspect", "--artifact", str(trained_artifact), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["format_version"] == 1
+
+    def test_private_model_manifest_reports_spent_epsilon(self, tmp_path, capsys, fitted_models):
+        path = save_artifact(fitted_models["p3gm"], tmp_path / "p3gm")
+        assert main(["inspect", "--artifact", str(path)]) == 0
+        out = capsys.readouterr().out
+        eps, _ = fitted_models["p3gm"].privacy_spent()
+        assert f"epsilon={eps:.6g}" in out
+
+
+class TestEvaluate:
+    def test_evaluates_against_recorded_dataset(self, trained_artifact, capsys):
+        code = main(["evaluate", "--artifact", str(trained_artifact), "--rows", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Utility of vae on credit" in out
+        assert "auroc" in out
