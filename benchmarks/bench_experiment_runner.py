@@ -1,0 +1,117 @@
+"""Experiment-runner throughput: serial vs. process-pool sweep execution.
+
+Runs the same epsilon-sweep spec through :class:`repro.experiments.Runner`
+twice — ``workers=1`` and ``workers=N`` — and records wall-clock, speedup,
+and the fact that the two runs produce identical records (parallelism must
+never perturb determinism).  Also measures warm-cache resume: a second run
+over a primed content-addressed cache must execute zero trials.
+
+Writes ``benchmarks/results/BENCH_experiment_runner.json`` and exits non-zero
+if the pooled records differ from the serial ones or if the warm-cache rerun
+recomputes anything.  The wall-clock bar (pooled < 0.5x serial, needs >= 4
+cores) is enforced in full mode only — ``--smoke`` records the timing but
+never gates on it, so shared CI runners can run it on every push without
+noisy-neighbor flakes (the nightly tier-2 suite owns the timing assertion).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_experiment_runner.py          # full
+    PYTHONPATH=src python benchmarks/bench_experiment_runner.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentSpec, Runner
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_experiment_runner.json"
+
+
+def sweep_spec(smoke: bool) -> ExperimentSpec:
+    """A Figure-4-shaped epsilon sweep; smoke mode subsamples the trials."""
+    params = {"n_samples": 4000, "scale": "small", "n_synthetic_cap": 4000}
+    epsilons = [0.3, 1.0, 3.0, 10.0]
+    if smoke:
+        params.update({"n_samples": 2000, "subsample": 600, "n_synthetic_cap": 600})
+        epsilons = [0.3, 1.0, 3.0]
+    return ExperimentSpec.from_dict(
+        {
+            "name": "bench_epsilon_sweep",
+            "kind": "utility",
+            "models": ["P3GM", "DP-GM"],
+            "datasets": ["credit"],
+            "epsilons": epsilons,
+            "params": params,
+        }
+    )
+
+
+def timed_run(runner: Runner, spec: ExperimentSpec):
+    start = time.perf_counter()
+    report = runner.run(spec)
+    return report, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small CI configuration")
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    spec = sweep_spec(args.smoke)
+    cores = os.cpu_count() or 1
+    print(f"epsilon sweep: {len(spec.trials())} trials, {cores} cores")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # The serial timed run doubles as the cache-priming pass (cache writes
+        # are negligible next to training); the pooled run must stay uncached
+        # so it actually executes every trial.
+        serial, serial_s = timed_run(Runner(workers=1, cache_dir=tmp), spec)
+        print(f"serial:           {serial_s:.2f}s")
+        pooled, pooled_s = timed_run(Runner(workers=args.workers), spec)
+        speedup = serial_s / pooled_s if pooled_s else float("inf")
+        print(f"{args.workers}-worker pool:    {pooled_s:.2f}s  ({speedup:.2f}x)")
+        resumed, resumed_s = timed_run(Runner(workers=1, cache_dir=tmp), spec)
+        print(f"warm-cache rerun: {resumed_s:.2f}s  ({resumed.cached} cached)")
+
+    results = {
+        "mode": "smoke" if args.smoke else "full",
+        "cores": cores,
+        "workers": args.workers,
+        "trials": serial.total,
+        "serial_s": round(serial_s, 3),
+        "pooled_s": round(pooled_s, 3),
+        "speedup": round(speedup, 3),
+        "warm_cache_s": round(resumed_s, 3),
+        "records_identical": serial.records == pooled.records,
+        "warm_cache_recomputed": resumed.executed,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"results -> {RESULTS_PATH}")
+
+    failures = []
+    if not results["records_identical"]:
+        failures.append("pooled records differ from serial records")
+    if resumed.executed:
+        failures.append(f"warm-cache rerun recomputed {resumed.executed} trials")
+    if args.smoke or cores < 4:
+        print(f"note: wall-clock bar not enforced (smoke={args.smoke}, {cores} core(s))")
+    elif pooled_s >= 0.5 * serial_s:
+        failures.append(
+            f"pooled run {pooled_s:.2f}s not < 0.5x serial {serial_s:.2f}s"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ The package is organised as a layered system:
 - :mod:`repro.ml` — downstream classifiers and evaluation metrics.
 - :mod:`repro.datasets` — simulators for the paper's six datasets.
 - :mod:`repro.evaluation` — the synthetic-data utility protocol and experiment runners.
+- :mod:`repro.experiments` — declarative experiment grids: specs, the
+  parallel/resumable trial runner, JSONL result stores, and the named
+  paper-table/figure presets behind ``python -m repro bench``.
 - :mod:`repro.serving` — versioned model artifacts, the streaming synthesis
   service, and the ``python -m repro`` command line.
 

@@ -49,6 +49,76 @@ class Dataset:
             raise ValueError("positive_rate is only defined for binary datasets")
         return float(np.mean(y == 1))
 
+    def subsample(self, size, random_state=None) -> "Dataset":
+        """A deterministic, stratified row-subsampled copy of the dataset.
+
+        ``size`` is disambiguated by type: a ``float`` is a fraction in
+        ``(0, 1]``, an ``int`` is an absolute number of *training* rows
+        (honoured exactly via largest-remainder allocation across classes);
+        the test split is reduced by the same fraction.
+        Sampling is stratified by label — every class present in a split
+        keeps at least one row, which can push a split at most
+        ``n_classes - 1`` rows over its target — because the paper's
+        datasets are heavily imbalanced (simulated Kaggle Credit is ~0.2%
+        positive) and a plain random subset would routinely lose the
+        minority class entirely.
+        Rows are drawn without replacement with a generator seeded by
+        ``random_state``, so the same ``(dataset, size, random_state)``
+        always yields the same subset — what makes miniaturized ("smoke")
+        experiment grids reproducible.
+        """
+        from repro.utils.rng import as_generator
+
+        if isinstance(size, bool):
+            raise ValueError(f"subsample must be a float fraction or an int count, got {size!r}")
+        if isinstance(size, (int, np.integer)):
+            fraction = float(size) / len(self.X_train)
+        else:
+            fraction = float(size)
+        if not 0 < fraction <= 1:
+            raise ValueError(
+                f"subsample must be a fraction in (0, 1] or a row count "
+                f"<= {len(self.X_train)}, got {size!r}"
+            )
+        rng = as_generator(random_state)
+        count = int(size) if isinstance(size, (int, np.integer)) else None
+        parts = {}
+        for split, X, y in (
+            ("train", self.X_train, self.y_train),
+            ("test", self.X_test, self.y_test),
+        ):
+            if split == "train" and count is not None:
+                target = count
+            else:
+                target = max(1, int(round(fraction * len(X))))
+            labels, class_sizes = np.unique(y, return_counts=True)
+            # Largest-remainder allocation hits the target exactly, then the
+            # at-least-one-row-per-class floor is applied on top.
+            raw = class_sizes * (target / len(X))
+            keep = np.floor(raw).astype(int)
+            shortfall = target - int(keep.sum())
+            if shortfall > 0:
+                order = np.argsort(-(raw - keep))
+                keep[order[:shortfall]] += 1
+            keep = np.minimum(np.maximum(keep, 1), class_sizes)
+            chosen = np.concatenate(
+                [
+                    rng.choice(np.flatnonzero(y == label), size=n_keep, replace=False)
+                    for label, n_keep in zip(labels, keep)
+                ]
+            )
+            chosen = np.sort(chosen)
+            parts[split] = (X[chosen], y[chosen])
+        return Dataset(
+            name=self.name,
+            X_train=parts["train"][0],
+            X_test=parts["test"][0],
+            y_train=parts["train"][1],
+            y_test=parts["test"][1],
+            description=self.description,
+            metadata={**self.metadata, "subsample": fraction},
+        )
+
     def summary(self) -> dict:
         """One row of the paper's Table III for this dataset."""
         row = {

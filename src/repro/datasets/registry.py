@@ -29,7 +29,7 @@ DEFAULT_SIZES = {
 }
 
 
-def load_dataset(name: str, n_samples=None, random_state=None):
+def load_dataset(name: str, n_samples=None, random_state=None, subsample=None):
     """Instantiate a simulated dataset by name.
 
     Parameters
@@ -40,7 +40,14 @@ def load_dataset(name: str, n_samples=None, random_state=None):
     n_samples:
         Total number of rows to simulate (defaults to a laptop-friendly size).
     random_state:
-        Seed or generator controlling the simulation.
+        Seed or generator controlling the simulation (and the subsampling).
+    subsample:
+        Optional trial-level row subsampling applied *after* simulation: a
+        ``float`` fraction in ``(0, 1]`` or an ``int`` training-row count
+        (see :meth:`repro.datasets.base.Dataset.subsample`).  Simulating the full
+        population and then subsampling keeps population statistics stable
+        across trials that use different row budgets — the experiment
+        runner's miniaturized grids rely on this.
     """
     key = name.lower()
     if key not in DATASET_REGISTRY:
@@ -48,7 +55,10 @@ def load_dataset(name: str, n_samples=None, random_state=None):
             f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
         )
     size = n_samples if n_samples is not None else DEFAULT_SIZES[key]
-    return DATASET_REGISTRY[key](n_samples=size, random_state=random_state)
+    dataset = DATASET_REGISTRY[key](n_samples=size, random_state=random_state)
+    if subsample is not None:
+        dataset = dataset.subsample(subsample, random_state=random_state)
+    return dataset
 
 
 def dataset_summaries(n_samples=None, random_state=0) -> list:

@@ -1,28 +1,25 @@
-"""Experiment runners — one function per table/figure of the paper.
+"""Experiment runners — one thin wrapper per table/figure of the paper.
 
-Each runner takes size parameters (dataset rows, training scale) so the same
-code drives the quick benchmark defaults and a closer-to-paper configuration.
-All runners return plain data structures (lists of dicts) that the benchmark
-harness prints in the paper's row/series format and EXPERIMENTS.md records.
+Since PR 3 these are declarative: each function builds
+:class:`repro.experiments.ExperimentSpec` grids and executes them through
+:class:`repro.experiments.Runner`, which handles deterministic per-trial
+seeding, optional process-pool parallelism, and content-addressed result
+caching.  The public signatures and the returned row/curve structures are
+unchanged from the original hand-rolled loops (a golden-value test pins
+this), so the benchmark harness and EXPERIMENTS.md keep working as before.
+
+Pass ``workers``/``cache_dir`` to any wrapper to parallelise or resume a
+sweep, or drop down to the named specs in :mod:`repro.experiments.presets`
+(e.g. ``python -m repro bench --spec fig4_epsilon_sweep``).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.datasets import load_dataset
-from repro.evaluation.model_zoo import PAPER_SGD_NOISE, model_factories
-from repro.evaluation.pipeline import (
-    evaluate_original,
-    evaluate_synthesizer,
-)
-from repro.evaluation.sample_quality import sample_quality
-from repro.ml import MLPClassifier, accuracy_score, roc_auc_score
-from repro.models import P3GM
-from repro.privacy.accounting import P3GMAccountant
-from repro.utils.rng import as_generator
+from repro.experiments.runner import Runner
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.trials import COMPOSITION_DEFAULTS
 
 __all__ = [
     "run_table5_nonprivate_comparison",
@@ -36,28 +33,32 @@ __all__ = [
 ]
 
 
+def _run(specs, workers: int, cache_dir):
+    return Runner(workers=workers, cache_dir=cache_dir).run(specs)
+
+
 # ---------------------------------------------------------------------------
 # Tables
 # ---------------------------------------------------------------------------
 
 
 def run_table5_nonprivate_comparison(
-    n_samples: int = 6000, scale: str = "small", epsilon: float = 1.0, random_state: int = 0
+    n_samples: int = 6000, scale: str = "small", epsilon: float = 1.0, random_state: int = 0,
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Table V: VAE vs PGM vs P3GM on the (simulated) Kaggle Credit dataset."""
-    dataset = load_dataset("credit", n_samples=n_samples, random_state=random_state)
-    factories = model_factories(
-        epsilon=epsilon, dataset_name="credit", scale=scale, random_state=random_state,
-        include=("VAE", "PGM", "P3GM"),
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "table5_nonprivate",
+            "kind": "utility",
+            "models": ["VAE", "PGM", "P3GM"],
+            "datasets": ["credit"],
+            "epsilons": [epsilon],
+            "seeds": [random_state],
+            "params": {"n_samples": n_samples, "scale": scale, "n_synthetic_cap": 6000},
+        }
     )
-    results = []
-    n_synthetic = min(len(dataset.X_train), 6000)
-    for name, factory in factories.items():
-        result = evaluate_synthesizer(
-            factory(), dataset, model_name=name, n_synthetic=n_synthetic, random_state=random_state
-        )
-        results.append(result.as_row())
-    return results
+    return _run(spec, workers, cache_dir).rows()
 
 
 def run_table6_private_tabular(
@@ -66,28 +67,46 @@ def run_table6_private_tabular(
     scale: str = "small",
     epsilon: float = 1.0,
     random_state: int = 0,
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Table VI: PrivBayes vs DP-GM vs P3GM vs original on four tabular datasets."""
     sizes = {"credit": 6000, "esr": 3000, "adult": 4000, "isolet": 1500}
     if n_samples:
         sizes.update(n_samples)
+    common = {"sizes": sizes, "scale": scale}
+    specs = (
+        ExperimentSpec.from_dict(
+            {
+                "name": "table6_private_tabular",
+                "kind": "utility",
+                "models": ["PrivBayes", "DP-GM", "P3GM"],
+                "datasets": list(datasets),
+                "epsilons": [epsilon],
+                "seeds": [random_state],
+                "params": {**common, "n_synthetic_cap": 6000},
+            }
+        ),
+        ExperimentSpec.from_dict(
+            {
+                "name": "table6_private_tabular",
+                "kind": "original",
+                "datasets": list(datasets),
+                "seeds": [random_state],
+                "params": common,
+            }
+        ),
+    )
+    records = _run(specs, workers, cache_dir).records
+    # The paper prints each dataset's synthesizer rows followed by its
+    # "original" reference row.
     rows = []
     for dataset_name in datasets:
-        dataset = load_dataset(dataset_name, n_samples=sizes[dataset_name], random_state=random_state)
-        factories = model_factories(
-            epsilon=epsilon,
-            dataset_name=dataset_name,
-            scale=scale,
-            random_state=random_state,
-            include=("PrivBayes", "DP-GM", "P3GM"),
-        )
-        n_synthetic = min(len(dataset.X_train), 6000)
-        for name, factory in factories.items():
-            result = evaluate_synthesizer(
-                factory(), dataset, model_name=name, n_synthetic=n_synthetic, random_state=random_state
-            )
-            rows.append(result.as_row())
-        rows.append(evaluate_original(dataset, random_state=random_state).as_row())
+        for record in records:
+            if record["dataset"] == dataset_name and record["kind"] == "utility":
+                rows.append(record["result"])
+        for record in records:
+            if record["dataset"] == dataset_name and record["kind"] == "original":
+                rows.append(record["result"])
     return rows
 
 
@@ -97,24 +116,21 @@ def run_table7_image_classification(
     scale: str = "small",
     epsilon: float = 1.0,
     random_state: int = 0,
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Table VII: classification accuracy on synthetic image data."""
-    rows = []
-    for dataset_name in datasets:
-        dataset = load_dataset(dataset_name, n_samples=n_samples, random_state=random_state)
-        factories = model_factories(
-            epsilon=epsilon,
-            dataset_name=dataset_name,
-            scale=scale,
-            random_state=random_state,
-            include=("VAE", "DP-GM", "PrivBayes", "P3GM"),
-        )
-        for name, factory in factories.items():
-            result = evaluate_synthesizer(
-                factory(), dataset, model_name=name, random_state=random_state
-            )
-            rows.append(result.as_row())
-    return rows
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "table7_images",
+            "kind": "utility",
+            "models": ["VAE", "DP-GM", "PrivBayes", "P3GM"],
+            "datasets": list(datasets),
+            "epsilons": [epsilon],
+            "seeds": [random_state],
+            "params": {"n_samples": n_samples, "scale": scale},
+        }
+    )
+    return _run(spec, workers, cache_dir).rows()
 
 
 # ---------------------------------------------------------------------------
@@ -128,20 +144,21 @@ def run_fig2_sample_quality(
     epsilon: float = 1.0,
     random_state: int = 0,
     models: Sequence[str] = ("VAE", "DP-VAE", "DP-GM", "P3GM"),
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Figure 2 proxy: fidelity/diversity/coverage of samples on simulated MNIST."""
-    dataset = load_dataset("mnist", n_samples=n_samples, random_state=random_state)
-    factories = model_factories(
-        epsilon=epsilon, dataset_name="mnist", scale=scale, random_state=random_state, include=tuple(models)
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "fig2_sample_quality",
+            "kind": "sample_quality",
+            "models": list(models),
+            "datasets": ["mnist"],
+            "epsilons": [epsilon],
+            "seeds": [random_state],
+            "params": {"n_samples": n_samples, "scale": scale},
+        }
     )
-    rows = []
-    for name, factory in factories.items():
-        model = factory()
-        model.fit(dataset.X_train, dataset.y_train)
-        synthetic, _ = model.sample_labeled(len(dataset.X_test), rng=random_state)
-        quality = sample_quality(dataset.X_test, synthetic, random_state=random_state)
-        rows.append({"model": name, **quality.as_row()})
-    return rows
+    return _run(spec, workers, cache_dir).rows()
 
 
 def run_fig4_epsilon_sweep(
@@ -151,35 +168,49 @@ def run_fig4_epsilon_sweep(
     random_state: int = 0,
     models: Sequence[str] = ("P3GM", "DP-GM", "PrivBayes"),
     include_nonprivate_reference: bool = True,
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Figure 4: AUROC/AUPRC on Kaggle Credit as the privacy budget varies."""
-    dataset = load_dataset("credit", n_samples=n_samples, random_state=random_state)
-    rows = []
-    n_synthetic = min(len(dataset.X_train), 6000)
+    params = {"n_samples": n_samples, "scale": scale, "n_synthetic_cap": 6000}
+    specs = []
     if include_nonprivate_reference:
-        factories = model_factories(
-            dataset_name="credit", scale=scale, random_state=random_state, include=("PGM",)
-        )
-        reference = evaluate_synthesizer(
-            factories["PGM"](), dataset, model_name="PGM", n_synthetic=n_synthetic,
-            random_state=random_state,
-        )
-        for epsilon in epsilons:
-            rows.append({"epsilon": epsilon, **reference.as_row()})
-    for epsilon in epsilons:
-        factories = model_factories(
-            epsilon=epsilon,
-            dataset_name="credit",
-            scale=scale,
-            random_state=random_state,
-            include=tuple(models),
-        )
-        for name, factory in factories.items():
-            result = evaluate_synthesizer(
-                factory(), dataset, model_name=name, n_synthetic=n_synthetic,
-                random_state=random_state,
+        specs.append(
+            ExperimentSpec.from_dict(
+                {
+                    "name": "fig4_epsilon_sweep",
+                    "kind": "utility",
+                    "models": ["PGM"],
+                    "datasets": ["credit"],
+                    "seeds": [random_state],
+                    "params": params,
+                }
             )
-            rows.append({"epsilon": epsilon, **result.as_row()})
+        )
+    specs.append(
+        ExperimentSpec.from_dict(
+            {
+                "name": "fig4_epsilon_sweep",
+                "kind": "utility",
+                "models": list(models),
+                "datasets": ["credit"],
+                "epsilons": list(epsilons),
+                "seeds": [random_state],
+                "params": params,
+            }
+        )
+    )
+    # One Runner.run over both blocks so the reference trial shares the pool
+    # with the sweep; the reference row (epsilon=None) is repeated per epsilon
+    # exactly like the paper's flat non-private line.
+    records = _run(tuple(specs), workers, cache_dir).records
+    rows = []
+    if include_nonprivate_reference:
+        reference_row = records[0]["result"]
+        records = records[1:]
+        for epsilon in epsilons:
+            rows.append({"epsilon": epsilon, **reference_row})
+    for record in records:
+        rows.append({"epsilon": record["epsilon"], **record["result"]})
     return rows
 
 
@@ -189,66 +220,56 @@ def run_fig5_dimension_sweep(
     scale: str = "small",
     epsilon: float = 1.0,
     random_state: int = 0,
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Figure 5: P3GM accuracy on simulated MNIST as the PCA dimension varies."""
-    from repro.evaluation.model_zoo import SCALES
-
-    dataset = load_dataset("mnist", n_samples=n_samples, random_state=random_state)
-    preset = SCALES[scale]
-    rows = []
-    for dimension in dimensions:
-        model = P3GM(
-            latent_dim=dimension,
-            n_mixture_components=3,
-            em_iterations=20,
-            hidden=preset["hidden"],
-            epochs=preset["epochs"],
-            batch_size=preset["batch_size"],
-            epsilon=epsilon,
-            delta=1e-5,
-            noise_multiplier=PAPER_SGD_NOISE["mnist"],
-            random_state=random_state,
-        )
-        result = evaluate_synthesizer(
-            model, dataset, model_name=f"P3GM(dp={dimension})", random_state=random_state
-        )
-        rows.append({"dp": dimension, "accuracy": result.mean("accuracy")})
-    return rows
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "fig5_dimension_sweep",
+            "kind": "p3gm_dimension",
+            "models": ["P3GM"],
+            "datasets": ["mnist"],
+            "epsilons": [epsilon],
+            "seeds": [random_state],
+            "grid": {"dimension": list(dimensions)},
+            "params": {"n_samples": n_samples, "scale": scale},
+        }
+    )
+    return _run(spec, workers, cache_dir).rows()
 
 
 def run_fig6_composition(
     sigmas: Sequence[float] = (1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0),
-    delta: float = 1e-5,
-    epsilon_pca: float = 0.1,
-    sigma_em: float = 100.0,
-    em_iterations: int = 20,
-    n_components: int = 3,
-    sample_rate: float = 240 / 63000,
-    sgd_steps: int = 2620,
+    delta: float = COMPOSITION_DEFAULTS["delta"],
+    epsilon_pca: float = COMPOSITION_DEFAULTS["epsilon_pca"],
+    sigma_em: float = COMPOSITION_DEFAULTS["sigma_em"],
+    em_iterations: int = COMPOSITION_DEFAULTS["em_iterations"],
+    n_components: int = COMPOSITION_DEFAULTS["n_components"],
+    sample_rate: float = COMPOSITION_DEFAULTS["sample_rate"],
+    sgd_steps: int = COMPOSITION_DEFAULTS["sgd_steps"],
+    *, workers: int = 1, cache_dir=None,
 ) -> list:
     """Figure 6: total epsilon under RDP vs the zCDP+MA baseline, varying sigma_s.
 
     This experiment is purely analytic (no training), exactly like the paper's.
     """
-    rows = []
-    for sigma in sigmas:
-        accountant = P3GMAccountant(
-            epsilon_pca=epsilon_pca,
-            sigma_em=sigma_em,
-            em_iterations=em_iterations,
-            n_components=n_components,
-            sigma_sgd=sigma,
-            sample_rate=sample_rate,
-            sgd_steps=sgd_steps,
-        )
-        rows.append(
-            {
-                "sigma_s": sigma,
-                "epsilon_rdp": round(accountant.epsilon(delta), 4),
-                "epsilon_zcdp_ma": round(accountant.epsilon_baseline(delta), 4),
-            }
-        )
-    return rows
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "fig6_composition",
+            "kind": "composition",
+            "grid": {"sigma": list(sigmas)},
+            "params": {
+                "delta": delta,
+                "epsilon_pca": epsilon_pca,
+                "sigma_em": sigma_em,
+                "em_iterations": em_iterations,
+                "n_components": n_components,
+                "sample_rate": sample_rate,
+                "sgd_steps": sgd_steps,
+            },
+        }
+    )
+    return _run(spec, workers, cache_dir).rows()
 
 
 def run_fig7_learning_efficiency(
@@ -258,6 +279,7 @@ def run_fig7_learning_efficiency(
     scale: str = "small",
     epsilon: float = 1.0,
     random_state: int = 0,
+    *, workers: int = 1, cache_dir=None,
 ) -> dict:
     """Figure 7: per-epoch reconstruction loss and downstream score.
 
@@ -266,44 +288,16 @@ def run_fig7_learning_efficiency(
     downstream utility of data sampled at that point (classification accuracy
     for image data, AUROC for binary data).
     """
-    from repro.evaluation.model_zoo import SCALES
-
-    dataset = load_dataset(dataset_name, n_samples=n_samples, random_state=random_state)
-    task_binary = dataset.n_classes == 2
-    preset = dict(SCALES[scale])
-    preset["epochs"] = epochs
-
-    def downstream_score(model) -> float:
-        X_syn, y_syn = model.sample_labeled(min(len(dataset.X_train), 1500), rng=random_state)
-        if len(np.unique(y_syn)) < 2:
-            return 0.5 if task_binary else 1.0 / dataset.n_classes
-        classifier = MLPClassifier(hidden=(64,), epochs=8, learning_rate=3e-3, random_state=random_state)
-        classifier.fit(X_syn, y_syn)
-        if task_binary:
-            scores = classifier.predict_proba(dataset.X_test)[:, 1]
-            return roc_auc_score(dataset.y_test, scores)
-        return accuracy_score(dataset.y_test, classifier.predict(dataset.X_test))
-
-    factories = model_factories(
-        epsilon=epsilon,
-        dataset_name=dataset_name,
-        scale=scale,
-        random_state=random_state,
-        include=("DP-VAE", "P3GM-AE", "P3GM"),
-    )
-    curves = {}
-    for name, factory in factories.items():
-        model = factory()
-        model.epochs = epochs
-        scores = []
-
-        def on_epoch_end(m, epoch, scores=scores):
-            scores.append(downstream_score(m))
-
-        model.epoch_callback = on_epoch_end
-        model.fit(dataset.X_train, dataset.y_train)
-        curves[name] = {
-            "reconstruction_loss": model.history.series("reconstruction_loss"),
-            "downstream_score": scores,
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "fig7_learning_efficiency",
+            "kind": "learning_curve",
+            "models": ["DP-VAE", "P3GM-AE", "P3GM"],
+            "datasets": [dataset_name],
+            "epsilons": [epsilon],
+            "seeds": [random_state],
+            "params": {"n_samples": n_samples, "scale": scale, "epochs": epochs},
         }
-    return curves
+    )
+    records = _run(spec, workers, cache_dir).records
+    return {record["model"]: record["result"] for record in records}

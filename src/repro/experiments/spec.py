@@ -1,0 +1,200 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is one grid — ``kind`` × ``models`` × ``datasets``
+× ``epsilons`` × ``seeds`` (plus arbitrary extra axes in ``grid``) — that
+expands into a deterministic, ordered list of :class:`TrialSpec` instances.
+A *named experiment* (one paper table or figure) is a tuple of such grids,
+declared as plain dicts in :mod:`repro.experiments.presets` and expanded with
+:meth:`ExperimentSpec.from_dict`.
+
+Every trial is fully described by its spec: the trial function derives *all*
+randomness from ``TrialSpec.seed``, so a trial computes the same result
+whether it runs serially, in a process pool, or in a later resumed run.  The
+canonical JSON form of a trial (plus the code version) is hashed into a
+content address used for result caching — see :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = ["TrialSpec", "ExperimentSpec", "canonical_json", "expand_specs"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance, plain floats."""
+    return json.dumps(_jsonify(value), sort_keys=True, separators=(",", ":"))
+
+
+def _jsonify(value: Any):
+    """Coerce numpy scalars/arrays and tuples into JSON-native values."""
+    import numpy as np
+
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of work: a single (kind, model, dataset, epsilon, seed) cell.
+
+    ``params`` carries per-trial constants (dataset sizes, scale, extra grid
+    axis values such as a PCA dimension).  ``experiment`` names the spec the
+    trial belongs to; it is *excluded* from the content address so identical
+    trials appearing in two experiments share one cached result.
+    """
+
+    experiment: str
+    kind: str
+    seed: int
+    model: Optional[str] = None
+    dataset: Optional[str] = None
+    epsilon: Optional[float] = None
+    params: Mapping = field(default_factory=dict)
+
+    def content(self) -> dict:
+        """The identity of the computation (everything except the spec name)."""
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "dataset": self.dataset,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+            "params": _jsonify(dict(self.params)),
+        }
+
+    def key(self, code_version: str = "") -> str:
+        """Content address: hash of the trial identity plus the code version."""
+        payload = canonical_json({"trial": self.content(), "code": code_version})
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def to_dict(self) -> dict:
+        return {"experiment": self.experiment, **self.content()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TrialSpec":
+        return cls(
+            experiment=payload["experiment"],
+            kind=payload["kind"],
+            seed=int(payload["seed"]),
+            model=payload.get("model"),
+            dataset=payload.get("dataset"),
+            epsilon=None if payload.get("epsilon") is None else float(payload["epsilon"]),
+            params=dict(payload.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative grid of trials.
+
+    Expansion order is deterministic and reporting-friendly: datasets
+    (outermost), then epsilons, then models, then any extra ``grid`` axes,
+    then seeds (innermost) — i.e. replicates of the same cell are adjacent
+    and tables come out grouped the way the paper prints them.
+    """
+
+    name: str
+    kind: str
+    models: tuple = (None,)
+    datasets: tuple = (None,)
+    epsilons: tuple = (None,)
+    seeds: tuple = (0,)
+    grid: Mapping = field(default_factory=dict)
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self):
+        from repro.experiments.trials import TRIAL_KINDS
+
+        if self.kind not in TRIAL_KINDS:
+            raise ValueError(
+                f"unknown trial kind {self.kind!r}; known kinds: {sorted(TRIAL_KINDS)}"
+            )
+        for axis in ("models", "datasets", "epsilons", "seeds"):
+            values = getattr(self, axis)
+            if not isinstance(values, tuple) or not values:
+                raise ValueError(f"{axis} must be a non-empty tuple, got {values!r}")
+        for axis, values in dict(self.grid).items():
+            if not tuple(values):
+                raise ValueError(f"grid axis {axis!r} must be non-empty")
+        # Canonicalize numeric axes so int/float literals of the same value
+        # (epsilon 1 vs 1.0) hash to the same trial content address.
+        object.__setattr__(
+            self,
+            "epsilons",
+            tuple(None if e is None else float(e) for e in self.epsilons),
+        )
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        """Build a spec from a declarative dict (lists coerced to tuples)."""
+        known = {"name", "kind", "models", "datasets", "epsilons", "seeds", "grid", "params"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        kwargs = {"name": payload["name"], "kind": payload["kind"]}
+        for axis in ("models", "datasets", "epsilons", "seeds"):
+            if axis in payload:
+                values = payload[axis]
+                kwargs[axis] = tuple(values) if isinstance(values, (list, tuple)) else (values,)
+        if "grid" in payload:
+            kwargs["grid"] = {
+                str(axis): tuple(values) for axis, values in dict(payload["grid"]).items()
+            }
+        if "params" in payload:
+            kwargs["params"] = dict(payload["params"])
+        return cls(**kwargs)
+
+    def with_seeds(self, seeds: Sequence[int]) -> "ExperimentSpec":
+        """The same grid re-run over a different replicate-seed axis."""
+        return replace(self, seeds=tuple(int(seed) for seed in seeds))
+
+    def trials(self) -> list:
+        """Expand the grid into an ordered list of :class:`TrialSpec`."""
+        axes = [(axis, tuple(values)) for axis, values in dict(self.grid).items()]
+        cells = [{}]
+        for axis, values in axes:
+            cells = [dict(cell, **{axis: value}) for cell in cells for value in values]
+        out = []
+        for dataset in self.datasets:
+            for epsilon in self.epsilons:
+                for model in self.models:
+                    for cell in cells:
+                        for seed in self.seeds:
+                            out.append(
+                                TrialSpec(
+                                    experiment=self.name,
+                                    kind=self.kind,
+                                    seed=int(seed),
+                                    model=model,
+                                    dataset=dataset,
+                                    epsilon=epsilon,
+                                    params={**self.params, **cell},
+                                )
+                            )
+        return out
+
+
+def expand_specs(specs) -> list:
+    """Trials of one spec or a sequence of specs, in declaration order."""
+    if isinstance(specs, ExperimentSpec):
+        specs = (specs,)
+    trials = []
+    for spec in specs:
+        trials.extend(spec.trials())
+    return trials

@@ -1,0 +1,182 @@
+"""JSONL persistence and aggregation of trial results.
+
+A *record* is one completed trial::
+
+    {"key": "...", "experiment": "...", "kind": "utility", "model": "P3GM",
+     "dataset": "credit", "epsilon": 1.0, "seed": 0, "params": {...},
+     "result": {"auroc": 0.91, ...}}
+
+Records are written in canonical form (sorted keys, one line per trial, trial
+order following the spec expansion), so the same spec run twice — serially or
+in a process pool — produces byte-identical files.  Volatile values (wall
+clock, host) are deliberately excluded; the runner reports them separately.
+
+:func:`aggregate_records` groups replicate seeds of the same grid cell and
+reduces every numeric result field to mean ± std — the paper's reporting
+convention for repeated runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.experiments.spec import canonical_json
+
+__all__ = ["ResultStore", "aggregate_records", "format_aggregate"]
+
+
+def encode_record(record: dict) -> str:
+    """One canonical JSONL line for a record."""
+    return canonical_json(record)
+
+
+class ResultStore:
+    """A JSONL file of trial records.
+
+    ``append`` is the incremental form used while a run is in flight;
+    ``write`` atomically replaces the file with a full record set in canonical
+    order (what the runner does when a run completes).
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def read(self) -> list:
+        if not self.path.exists():
+            return []
+        records = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    def append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(encode_record(record) + "\n")
+
+    def write(self, records: Iterable[dict]) -> None:
+        """Atomically replace the file with ``records`` in the given order."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w") as handle:
+            for record in records:
+                handle.write(encode_record(record) + "\n")
+        os.replace(tmp, self.path)
+
+
+def _group_identity(record: dict) -> tuple:
+    """Everything that identifies a grid cell except the replicate seed."""
+    return (
+        record.get("experiment"),
+        record.get("kind"),
+        record.get("model"),
+        record.get("dataset"),
+        record.get("epsilon"),
+        canonical_json(record.get("params") or {}),
+    )
+
+
+def aggregate_records(records: Sequence[dict]) -> list:
+    """Reduce replicate seeds to mean ± std rows, preserving first-seen order.
+
+    Numeric fields of ``result`` are averaged over the seeds of each cell and
+    reported as ``<metric>_mean`` / ``<metric>_std`` (population std, like the
+    paper's error bars) plus ``n_seeds``.  Non-numeric result fields (e.g.
+    per-epoch curve lists) are passed through from the first replicate.
+    """
+    groups: dict = {}
+    order = []
+    for record in records:
+        identity = _group_identity(record)
+        if identity not in groups:
+            groups[identity] = []
+            order.append(identity)
+        groups[identity].append(record)
+
+    rows = []
+    param_columns = set()
+    for identity in order:
+        members = groups[identity]
+        first = members[0]
+        row = {
+            "experiment": first.get("experiment"),
+            "kind": first.get("kind"),
+            "model": first.get("model"),
+            "dataset": first.get("dataset"),
+            "epsilon": first.get("epsilon"),
+            "n_seeds": len(members),
+        }
+        for axis, value in (first.get("params") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if axis not in row:
+                    row[axis] = value
+                    param_columns.add(axis)
+        metrics = {}
+        for member in members:
+            for metric, value in (member.get("result") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    metrics.setdefault(metric, []).append(float(value))
+        for metric in sorted(metrics):
+            values = np.asarray(metrics[metric], dtype=np.float64)
+            row[f"{metric}_mean"] = round(float(values.mean()), 6)
+            row[f"{metric}_std"] = round(float(values.std()), 6)
+        for metric, value in (first.get("result") or {}).items():
+            if metric not in metrics and not isinstance(value, str):
+                row[metric] = value
+        rows.append(row)
+
+    # Prune param-derived columns that carry no comparative information:
+    # - constants (among the rows that have them) are shared config (sizes,
+    #   epochs, ...), not grid axes;
+    # - a grid axis the trial result echoes under another name (params
+    #   "dimension" vs result "dp", "sigma" vs "sigma_s") would render as a
+    #   duplicated column — keep only the result's version.
+    metric_columns = {
+        column for row in rows for column in row if column.endswith("_mean")
+    }
+    for axis in sorted(param_columns):
+        holders = [row for row in rows if axis in row]
+        constant = len(rows) > 1 and len({canonical_json(row[axis]) for row in holders}) == 1
+        echoed = any(
+            all(row.get(metric) == row[axis] for row in holders)
+            for metric in metric_columns
+        )
+        if constant or echoed:
+            for row in holders:
+                del row[axis]
+    return rows
+
+
+def format_aggregate(rows: Sequence[dict], title: str = "") -> str:
+    """Render aggregated rows as a text table with ``mean±std`` cells."""
+    from repro.evaluation.reporting import format_rows
+
+    def fmt(value):
+        # %.4f would print e.g. delta=1e-5 as a misleading "0.0000".
+        if isinstance(value, float) and value != 0 and abs(value) < 1e-3:
+            return f"{value:.4g}"
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return value
+
+    rendered = []
+    for row in rows:
+        out = {}
+        for column, value in row.items():
+            if column.endswith("_std"):
+                continue
+            if column.endswith("_mean"):
+                metric = column[: -len("_mean")]
+                out[metric] = f"{fmt(value)}±{fmt(row.get(metric + '_std', 0.0))}"
+            elif value is not None:
+                out[column] = fmt(value)
+        rendered.append(out)
+    return format_rows(rendered, title=title)

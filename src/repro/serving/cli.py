@@ -10,6 +10,10 @@ Subcommands
   synthetic data, tested on real data) against a released artifact.
 - ``inspect``  — print an artifact's manifest, including the ``(epsilon,
   delta)`` guarantee recorded at release time.
+- ``bench``    — run a named experiment spec (a paper table/figure grid or
+  the miniaturized ``smoke`` preset) through the parallel, resumable
+  experiment runner; writes the JSONL trial records plus a
+  ``BENCH_experiments.json`` summary and prints the aggregated table.
 
 Examples::
 
@@ -19,6 +23,9 @@ Examples::
     python -m repro sample --artifact artifacts/p3gm-credit -n 1_000_000 \
         --chunk-size 8192 --seed 7 --output synthetic.csv
     python -m repro evaluate --artifact artifacts/p3gm-credit
+    python -m repro bench --spec fig6_composition
+    python -m repro bench --preset smoke --workers 4 --seeds 0 1 2 \
+        --cache-dir .bench-cache --store smoke.jsonl
 """
 
 from __future__ import annotations
@@ -93,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_cmd = subparsers.add_parser("inspect", help="print an artifact's manifest")
     inspect_cmd.add_argument("--artifact", required=True, type=Path)
     inspect_cmd.add_argument("--json", action="store_true", help="raw JSON output")
+
+    bench = subparsers.add_parser("bench", help="run a named experiment spec")
+    which = bench.add_mutually_exclusive_group()
+    which.add_argument("--spec", default=None, help="experiment spec name (e.g. fig6_composition)")
+    which.add_argument("--preset", default=None, help="alias of --spec (e.g. smoke)")
+    bench.add_argument("--list", action="store_true", help="list registered specs and exit")
+    bench.add_argument("--workers", type=int, default=1, help="process-pool size (1 = serial)")
+    bench.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="replicate seeds overriding the spec's seed axis")
+    bench.add_argument("--cache-dir", type=Path, default=None,
+                       help="content-addressed trial cache (enables resume)")
+    bench.add_argument("--store", type=Path, default=None,
+                       help="JSONL record output (default: <output stem>.jsonl)")
+    bench.add_argument("--output", type=Path, default=Path("BENCH_experiments.json"),
+                       help="summary JSON output")
     return parser
 
 
@@ -247,6 +269,76 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------------------
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ResultStore,
+        Runner,
+        aggregate_records,
+        default_code_version,
+        expand_specs,
+        experiment_names,
+        format_aggregate,
+        get_experiment,
+    )
+
+    if args.list:
+        for name in experiment_names():
+            specs = get_experiment(name)
+            print(f"{name:<26} {len(expand_specs(specs))} trials")
+        return 0
+    name = args.spec or args.preset
+    if name is None:
+        print("error: pass --spec NAME, --preset NAME, or --list", file=sys.stderr)
+        return 2
+    specs = get_experiment(name)
+    if args.seeds is not None:
+        specs = tuple(spec.with_seeds(args.seeds) for spec in specs)
+    trials = expand_specs(specs)
+    store_path = args.store or args.output.with_suffix(".jsonl")
+    print(f"running {name}: {len(trials)} trials, {args.workers} worker(s)...")
+
+    def progress(done, total, trial):
+        label = trial.model or trial.kind
+        print(f"  [{done}/{total}] {trial.kind}:{label}"
+              + (f" on {trial.dataset}" if trial.dataset else ""))
+
+    runner = Runner(workers=args.workers, cache_dir=args.cache_dir)
+    try:
+        report = runner.run(specs, store=ResultStore(store_path), progress=progress)
+    except Exception:
+        # Unlike artifact-validation errors, a crashing trial needs its full
+        # traceback to be diagnosable from (nightly) CI logs.
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: a trial of {name!r} failed; see traceback above", file=sys.stderr)
+        return 1
+    aggregate = aggregate_records(report.records)
+    print()
+    print(format_aggregate(aggregate, title=f"{name} (mean±std over seeds)"))
+    summary = {
+        "experiment": name,
+        "code_version": default_code_version(),
+        "workers": args.workers,
+        "trials": report.total,
+        "executed": report.executed,
+        "cached": report.cached,
+        "duration_s": round(report.duration_s, 3),
+        "store": str(store_path),
+        "aggregate": aggregate,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\n{report.executed} executed, {report.cached} cached "
+          f"in {report.duration_s:.1f}s; records -> {store_path}, summary -> {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
@@ -256,6 +348,7 @@ def main(argv=None) -> int:
         "sample": _cmd_sample,
         "evaluate": _cmd_evaluate,
         "inspect": _cmd_inspect,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

@@ -1,0 +1,18 @@
+"""Fixtures for the registry-driven model-contract suite (see contract_kit)."""
+
+import pytest
+
+from contract_kit import make_contract_data, tiny_model
+from repro.serving.registry import registered_synthesizers
+
+
+@pytest.fixture(scope="session")
+def contract_data():
+    return make_contract_data()
+
+
+@pytest.fixture(scope="session")
+def fitted_contract_models(contract_data):
+    """name -> fitted tiny instance, one fit per session for the whole kit."""
+    X, y = contract_data
+    return {name: tiny_model(name).fit(X, y) for name in registered_synthesizers()}

@@ -133,3 +133,61 @@ class TestLearnability:
         distances = np.linalg.norm(means[:, None, :] - means[None, :, :], axis=2)
         off_diagonal = distances[~np.eye(10, dtype=bool)]
         assert off_diagonal.min() > 0.5
+
+
+class TestSubsampling:
+    """Trial-level subsampling plumbed through load_dataset (experiment grids)."""
+
+    def test_load_dataset_subsample_by_count_and_fraction(self):
+        full = load_dataset("credit", n_samples=2000, random_state=0)
+        by_count = load_dataset("credit", n_samples=2000, random_state=0, subsample=400)
+        assert len(by_count.X_train) == pytest.approx(400, abs=1)
+        fraction = 400 / len(full.X_train)
+        assert len(by_count.X_test) == pytest.approx(fraction * len(full.X_test), abs=2)
+        by_fraction = load_dataset("credit", n_samples=2000, random_state=0, subsample=0.25)
+        assert len(by_fraction.X_train) == pytest.approx(0.25 * len(full.X_train), abs=2)
+        assert by_count.metadata["subsample"] == pytest.approx(fraction)
+
+    def test_subsample_is_deterministic(self):
+        a = load_dataset("credit", n_samples=2000, random_state=0, subsample=300)
+        b = load_dataset("credit", n_samples=2000, random_state=0, subsample=300)
+        assert np.array_equal(a.X_train, b.X_train)
+        assert np.array_equal(a.y_test, b.y_test)
+        c = load_dataset("credit", n_samples=2000, random_state=1, subsample=300)
+        assert not np.array_equal(a.X_train, c.X_train)
+
+    def test_subsample_is_stratified_on_rare_classes(self):
+        # Simulated Kaggle Credit is ~0.2% positive: a plain random subset of
+        # 400 rows would usually contain zero positives.
+        data = load_dataset("credit", n_samples=2000, random_state=0, subsample=400)
+        assert set(np.unique(data.y_train)) == {0, 1}
+        assert set(np.unique(data.y_test)) == {0, 1}
+
+    def test_subsample_rows_come_from_the_parent(self):
+        full = load_dataset("esr", n_samples=1000, random_state=3)
+        sub = full.subsample(0.3, random_state=3)
+        parent_rows = {row.tobytes() for row in full.X_train}
+        assert all(row.tobytes() in parent_rows for row in sub.X_train)
+
+    def test_subsample_int_count_is_exact_across_many_classes(self):
+        # Largest-remainder allocation: 10-class mnist must keep exactly the
+        # requested number of training rows (no per-class rounding drift).
+        data = load_dataset("mnist", n_samples=1000, random_state=0)
+        for count in (100, 97, 333):
+            assert len(data.subsample(count, random_state=0).X_train) == count
+
+    def test_subsample_disambiguates_int_count_from_float_fraction(self):
+        data = load_dataset("credit", n_samples=1000, random_state=0)
+        # int 1 is a row count (stratification keeps one row per class),
+        # float 1.0 is the full-dataset fraction.
+        assert len(data.subsample(1).X_train) == data.n_classes
+        assert len(data.subsample(1.0).X_train) == len(data.X_train)
+
+    def test_subsample_rejects_bad_sizes(self):
+        data = load_dataset("credit", n_samples=1000, random_state=0)
+        with pytest.raises(ValueError, match="subsample"):
+            data.subsample(0)
+        with pytest.raises(ValueError, match="subsample"):
+            data.subsample(len(data.X_train) * 10)
+        with pytest.raises(ValueError, match="subsample"):
+            data.subsample(True)

@@ -1,0 +1,111 @@
+"""ExperimentSpec/TrialSpec: declarative expansion and content addressing."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentSpec, TrialSpec, expand_specs, get_experiment
+
+
+def test_grid_expansion_order_is_dataset_epsilon_model_grid_seed():
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "demo",
+            "kind": "utility",
+            "models": ["A", "B"],
+            "datasets": ["d1", "d2"],
+            "epsilons": [0.1, 1.0],
+            "seeds": [0, 1],
+        }
+    )
+    trials = spec.trials()
+    assert len(trials) == 2 * 2 * 2 * 2
+    # Innermost axis: seeds (replicates adjacent), outermost: datasets.
+    assert [t.seed for t in trials[:4]] == [0, 1, 0, 1]
+    assert [t.model for t in trials[:4]] == ["A", "A", "B", "B"]
+    assert all(t.dataset == "d1" for t in trials[:8])
+    assert all(t.epsilon == 0.1 for t in trials[:4])
+    assert all(t.epsilon == 1.0 for t in trials[4:8])
+
+
+def test_extra_grid_axes_merge_into_params():
+    spec = ExperimentSpec.from_dict(
+        {
+            "name": "demo",
+            "kind": "composition",
+            "grid": {"sigma": [1.0, 2.0]},
+            "params": {"delta": 1e-5},
+        }
+    )
+    trials = spec.trials()
+    assert [t.params["sigma"] for t in trials] == [1.0, 2.0]
+    assert all(t.params["delta"] == 1e-5 for t in trials)
+
+
+def test_unknown_kind_and_unknown_fields_are_rejected():
+    with pytest.raises(ValueError, match="unknown trial kind"):
+        ExperimentSpec(name="demo", kind="nope")
+    with pytest.raises(ValueError, match="unknown ExperimentSpec fields"):
+        ExperimentSpec.from_dict({"name": "demo", "kind": "utility", "modles": ["A"]})
+    with pytest.raises(ValueError, match="non-empty tuple"):
+        ExperimentSpec(name="demo", kind="utility", seeds=())
+    with pytest.raises(ValueError, match="grid axis 'sigma' must be non-empty"):
+        ExperimentSpec(name="demo", kind="composition", grid={"sigma": ()})
+
+
+def test_numeric_axes_are_canonicalized_for_cache_sharing():
+    # epsilon 1 (int) and 1.0 (float) must hash to the same content address.
+    as_int = ExperimentSpec(name="a", kind="utility", models=("M",), epsilons=(1,))
+    as_float = ExperimentSpec(name="b", kind="utility", models=("M",), epsilons=(1.0,))
+    assert as_int.trials()[0].key("v") == as_float.trials()[0].key("v")
+    assert as_int.epsilons == (1.0,) and isinstance(as_int.epsilons[0], float)
+
+
+def test_trial_key_is_content_addressed():
+    base = dict(kind="composition", seed=0, params={"sigma": 1.0})
+    a = TrialSpec(experiment="exp-a", **base)
+    b = TrialSpec(experiment="exp-b", **base)
+    # The spec name is excluded: identical computations share one cache slot.
+    assert a.key("v1") == b.key("v1")
+    # Everything else participates, as does the code version.
+    assert a.key("v1") != a.key("v2")
+    assert a.key("v1") != TrialSpec(experiment="exp-a", kind="composition", seed=1, params={"sigma": 1.0}).key("v1")
+    assert a.key("v1") != TrialSpec(experiment="exp-a", kind="composition", seed=0, params={"sigma": 2.0}).key("v1")
+
+
+def test_trial_roundtrips_through_dict():
+    trial = TrialSpec(
+        experiment="demo", kind="utility", seed=3, model="P3GM",
+        dataset="credit", epsilon=0.5, params={"n_samples": 100},
+    )
+    clone = TrialSpec.from_dict(trial.to_dict())
+    assert clone == trial
+    assert clone.key("v") == trial.key("v")
+
+
+def test_with_seeds_replaces_the_replicate_axis():
+    spec = ExperimentSpec.from_dict({"name": "demo", "kind": "original", "datasets": ["credit"]})
+    assert [t.seed for t in spec.with_seeds([5, 6, 7]).trials()] == [5, 6, 7]
+
+
+def test_registry_names_every_paper_table_and_figure():
+    for name in (
+        "table5_nonprivate",
+        "table6_private_tabular",
+        "table7_images",
+        "fig2_sample_quality",
+        "fig4_epsilon_sweep",
+        "fig5_dimension_sweep",
+        "fig6_composition",
+        "fig7_learning_efficiency",
+        "smoke",
+    ):
+        assert name in EXPERIMENTS
+        assert expand_specs(get_experiment(name))
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("table9")
+
+
+def test_smoke_preset_covers_every_trial_kind():
+    from repro.experiments.trials import TRIAL_KINDS
+
+    kinds = {trial.kind for trial in expand_specs(get_experiment("smoke"))}
+    assert kinds == set(TRIAL_KINDS)

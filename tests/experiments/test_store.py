@@ -1,0 +1,71 @@
+"""ResultStore JSONL persistence and mean±std aggregation."""
+
+import json
+
+from repro.experiments import ResultStore, aggregate_records, format_aggregate
+
+
+def _record(seed, auroc, model="P3GM", experiment="demo", **extra):
+    return {
+        "key": f"k{model}{seed}",
+        "experiment": experiment,
+        "kind": "utility",
+        "model": model,
+        "dataset": "credit",
+        "epsilon": 1.0,
+        "seed": seed,
+        "params": {"n_samples": 100, **extra},
+        "result": {"auroc": auroc, "model": model},
+    }
+
+
+def test_store_append_read_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "out.jsonl")
+    assert store.read() == []
+    store.append(_record(0, 0.9))
+    store.append(_record(1, 0.8))
+    assert [r["seed"] for r in store.read()] == [0, 1]
+
+
+def test_store_write_is_canonical_and_atomic(tmp_path):
+    store = ResultStore(tmp_path / "out.jsonl")
+    records = [_record(0, 0.9), _record(1, 0.8)]
+    store.write(records)
+    first = (tmp_path / "out.jsonl").read_bytes()
+    # Same records written again (even from differently-ordered dicts) are
+    # byte-identical, and every line is standalone JSON with sorted keys.
+    shuffled = [dict(reversed(list(record.items()))) for record in records]
+    store.write(shuffled)
+    assert (tmp_path / "out.jsonl").read_bytes() == first
+    for line in first.decode().strip().splitlines():
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+
+
+def test_aggregate_means_and_stds_over_seeds():
+    records = [_record(0, 0.8), _record(1, 0.9), _record(0, 0.6, model="DP-GM")]
+    rows = aggregate_records(records)
+    assert len(rows) == 2
+    p3gm, dpgm = rows
+    assert p3gm["model"] == "P3GM" and p3gm["n_seeds"] == 2
+    assert p3gm["auroc_mean"] == 0.85
+    assert round(p3gm["auroc_std"], 6) == 0.05
+    assert dpgm["n_seeds"] == 1 and dpgm["auroc_std"] == 0.0
+
+
+def test_aggregate_keeps_varying_params_and_drops_constants():
+    records = [
+        _record(0, 0.8, dimension=2),
+        _record(0, 0.7, model="DP-GM", dimension=5),
+    ]
+    rows = aggregate_records(records)
+    # "dimension" varies between cells -> kept; "n_samples" is constant -> dropped.
+    assert [row["dimension"] for row in rows] == [2, 5]
+    assert all("n_samples" not in row for row in rows)
+
+
+def test_format_aggregate_renders_mean_pm_std():
+    text = format_aggregate(aggregate_records([_record(0, 0.8), _record(1, 0.9)]), title="T")
+    assert text.splitlines()[0] == "T"
+    assert "0.8500±0.0500" in text
+    assert "_mean" not in text and "_std" not in text

@@ -1,0 +1,94 @@
+"""Tier-2 sweep tests: wall-clock speedup and the full miniaturized grid.
+
+These are excluded from tier 1 (``-m "not tier2"``) and run in the nightly /
+dispatch CI job, where real multi-second trials make wall-clock comparisons
+meaningful.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    ResultStore,
+    Runner,
+    aggregate_records,
+    expand_specs,
+    get_experiment,
+)
+
+pytestmark = pytest.mark.tier2
+
+
+def epsilon_sweep_spec(seeds=(0,)):
+    """A reduced Figure-4 epsilon sweep with substantial per-trial work."""
+    return ExperimentSpec.from_dict(
+        {
+            "name": "fig4_epsilon_sweep",
+            "kind": "utility",
+            "models": ["P3GM", "DP-GM"],
+            "datasets": ["credit"],
+            "epsilons": [0.3, 1.0, 3.0, 10.0],
+            "seeds": list(seeds),
+            "params": {"n_samples": 4000, "scale": "small", "n_synthetic_cap": 4000},
+        }
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="wall-clock speedup needs >= 4 cores (records-equality is covered regardless)",
+)
+def test_four_worker_epsilon_sweep_beats_half_the_serial_wall_clock():
+    spec = epsilon_sweep_spec()
+    start = time.perf_counter()
+    serial = Runner(workers=1).run(spec)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = Runner(workers=4).run(spec)
+    pooled_s = time.perf_counter() - start
+    assert serial.records == pooled.records
+    assert pooled_s < 0.5 * serial_s, (
+        f"4-worker sweep took {pooled_s:.1f}s vs {serial_s:.1f}s serial "
+        f"({pooled_s / serial_s:.2f}x; expected < 0.5x)"
+    )
+
+
+def test_interrupted_epsilon_sweep_resumes_without_recomputation(tmp_path):
+    cache = tmp_path / "cache"
+    spec = epsilon_sweep_spec()
+    partial = ExperimentSpec.from_dict(
+        {
+            "name": "fig4_epsilon_sweep",
+            "kind": "utility",
+            "models": ["P3GM", "DP-GM"],
+            "datasets": ["credit"],
+            "epsilons": [0.3, 1.0],
+            "seeds": [0],
+            "params": dict(spec.params),
+        }
+    )
+    Runner(workers=4, cache_dir=cache).run(partial)
+    start = time.perf_counter()
+    resumed = Runner(workers=4, cache_dir=cache).run(spec)
+    resumed_s = time.perf_counter() - start
+    assert resumed.cached == len(partial.trials())
+    assert resumed.executed == len(spec.trials()) - len(partial.trials())
+    # Loading the 4 cached trials must be essentially free.
+    rerun = Runner(workers=1, cache_dir=cache).run(spec)
+    assert rerun.executed == 0 and rerun.cached == len(spec.trials())
+    assert rerun.records == resumed.records
+    assert resumed_s > 0  # wall-clock sanity
+
+
+def test_smoke_grid_with_replicates_end_to_end(tmp_path):
+    specs = tuple(spec.with_seeds([0, 1]) for spec in get_experiment("smoke"))
+    store = ResultStore(tmp_path / "smoke.jsonl")
+    report = Runner(workers=2, cache_dir=tmp_path / "cache").run(specs, store=store)
+    assert report.total == len(expand_specs(specs))
+    rows = aggregate_records(report.records)
+    utility = [row for row in rows if row["kind"] == "utility"]
+    assert utility and all(row["n_seeds"] == 2 for row in utility)
+    assert all("auroc_mean" in row for row in utility)

@@ -134,3 +134,60 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "Utility of vae on credit" in out
         assert "auroc" in out
+
+
+class TestBench:
+    def test_list_prints_registered_specs(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table6_private_tabular", "fig6_composition", "smoke"):
+            assert name in out
+
+    def test_runs_a_named_spec_and_writes_summary_and_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "bench", "--spec", "fig6_composition", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(tmp_path / "BENCH_experiments.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epsilon_rdp" in out and "mean±std" in out
+        summary = json.loads((tmp_path / "BENCH_experiments.json").read_text())
+        assert summary["experiment"] == "fig6_composition"
+        assert summary["executed"] == 7 and summary["cached"] == 0
+        store_lines = (tmp_path / "BENCH_experiments.jsonl").read_text().strip().splitlines()
+        assert len(store_lines) == 7
+        # A rerun over the same cache executes nothing.
+        assert main(
+            [
+                "bench", "--spec", "fig6_composition",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(tmp_path / "BENCH_experiments.json"),
+            ]
+        ) == 0
+        summary = json.loads((tmp_path / "BENCH_experiments.json").read_text())
+        assert summary["executed"] == 0 and summary["cached"] == 7
+
+    def test_seeds_override_expands_replicates(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "--spec", "fig6_composition", "--seeds", "0", "1",
+                "--output", str(tmp_path / "b.json"), "--store", str(tmp_path / "b.jsonl"),
+            ]
+        )
+        assert code == 0
+        summary = json.loads((tmp_path / "b.json").read_text())
+        # Composition trials ignore the seed analytically but still replicate.
+        assert summary["trials"] == 14
+        assert all(row["n_seeds"] == 2 for row in summary["aggregate"])
+
+    def test_unknown_spec_exits_nonzero(self, tmp_path, capsys):
+        assert main(["bench", "--spec", "table99", "--output", str(tmp_path / "x.json")]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_spec_argument_exits_nonzero(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--spec" in capsys.readouterr().err
