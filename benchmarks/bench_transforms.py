@@ -1,0 +1,162 @@
+"""Mixed-type table transformation throughput: transform + inverse at scale.
+
+Measures rows/sec for the full :class:`repro.transforms.TableTransformer`
+round-trip on an adult-like mixed table (3 numeric, 3 one-hot categorical,
+1 ordinal, 1 binary column — 8 raw columns, 20 model-space columns):
+
+- **fit**       — schema-driven per-column fitting on the training slice,
+- **transform** — raw object table -> dense ``[0, 1]`` float matrix,
+- **inverse**   — model-space matrix -> original-space rows with real labels.
+
+The subsystem's contract is that all three are vectorised per-column numpy
+operations with no Python-level per-row loops, so throughput must scale to
+millions of rows.  Writes ``benchmarks/results/BENCH_transforms.json`` and
+exits non-zero if the round-trip stops being correct (bit-exact categories,
+allclose numerics) or throughput collapses below the floor a per-row loop
+would produce (``--min-rows-per-sec``, conservative for shared CI runners).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_transforms.py          # full (1M rows)
+    PYTHONPATH=src python benchmarks/bench_transforms.py --smoke  # CI (100k rows)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.transforms import ColumnSchema, TableSchema, TableTransformer
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_transforms.json"
+
+WORKCLASS = ("Private", "Self-employed", "Government", "Unemployed")
+EDUCATION = ("HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate")
+OCCUPATION = ("Tech", "Sales", "Service", "Admin", "Manual", "Other")
+SEX = ("Female", "Male")
+
+
+def build_schema() -> TableSchema:
+    return TableSchema(
+        [
+            ColumnSchema("age", "numeric"),
+            ColumnSchema("workclass", "categorical", WORKCLASS),
+            ColumnSchema("education", "ordinal", EDUCATION),
+            ColumnSchema("occupation", "categorical", OCCUPATION),
+            ColumnSchema("sex", "binary", SEX),
+            ColumnSchema("capital_gain", "numeric"),
+            ColumnSchema("hours_per_week", "numeric"),
+            ColumnSchema("segment", "categorical", tuple(f"seg_{i}" for i in range(8))),
+        ]
+    )
+
+
+def build_table(n_rows: int, seed: int = 0) -> np.ndarray:
+    """An adult-like mixed table, generated column-wise (vectorised)."""
+    rng = np.random.default_rng(seed)
+    rows = np.empty((n_rows, 8), dtype=object)
+    rows[:, 0] = rng.integers(17, 90, n_rows).astype(float)
+    rows[:, 1] = np.asarray(WORKCLASS, dtype=object)[rng.integers(0, 4, n_rows)]
+    rows[:, 2] = np.asarray(EDUCATION, dtype=object)[rng.integers(0, 5, n_rows)]
+    rows[:, 3] = np.asarray(OCCUPATION, dtype=object)[rng.integers(0, 6, n_rows)]
+    rows[:, 4] = np.asarray(SEX, dtype=object)[rng.integers(0, 2, n_rows)]
+    rows[:, 5] = rng.exponential(600, n_rows)
+    rows[:, 6] = np.clip(rng.normal(40, 12, n_rows), 1, 99)
+    rows[:, 7] = np.asarray([f"seg_{i}" for i in range(8)], dtype=object)[
+        rng.integers(0, 8, n_rows)
+    ]
+    return rows
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def verify_round_trip(schema: TableSchema, rows: np.ndarray, decoded: np.ndarray) -> list:
+    """Exact categories, allclose numerics; returns a list of failures."""
+    failures = []
+    for index, column in enumerate(schema):
+        if column.kind == "numeric":
+            if not np.allclose(
+                decoded[:, index].astype(float), rows[:, index].astype(float)
+            ):
+                failures.append(f"numeric column {column.name!r} did not round-trip")
+        elif not (decoded[:, index] == rows[:, index].astype(str)).all():
+            failures.append(f"category column {column.name!r} did not round-trip exactly")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="table size (default 1_000_000, or 100_000 with --smoke)")
+    parser.add_argument("--min-rows-per-sec", type=float, default=50_000.0,
+                        help="fail below this transform/inverse throughput "
+                             "(a per-row python loop manages ~10k rows/sec)")
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args(argv)
+
+    n_rows = args.rows if args.rows is not None else (100_000 if args.smoke else 1_000_000)
+    schema = build_schema()
+    rows = build_table(n_rows)
+
+    transformer = TableTransformer(schema)
+    _, fit_s = timed(lambda: transformer.fit(rows))
+    encoded, transform_s = timed(lambda: transformer.transform(rows))
+    decoded, inverse_s = timed(lambda: transformer.inverse_transform(encoded))
+
+    results = {
+        "fit": {"seconds": round(fit_s, 4), "rows_per_sec": round(n_rows / fit_s, 1)},
+        "transform": {
+            "seconds": round(transform_s, 4),
+            "rows_per_sec": round(n_rows / transform_s, 1),
+        },
+        "inverse_transform": {
+            "seconds": round(inverse_s, 4),
+            "rows_per_sec": round(n_rows / inverse_s, 1),
+        },
+    }
+    report = {
+        "benchmark": "transforms_throughput",
+        "config": {
+            "n_rows": n_rows,
+            "raw_columns": len(schema),
+            "model_space_columns": transformer.output_width,
+            "smoke": args.smoke,
+            "min_rows_per_sec": args.min_rows_per_sec,
+        },
+        "results": results,
+    }
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    failures = verify_round_trip(schema, rows, decoded)
+    for stage in ("transform", "inverse_transform"):
+        if results[stage]["rows_per_sec"] < args.min_rows_per_sec:
+            failures.append(
+                f"{stage} ran at {results[stage]['rows_per_sec']} rows/sec "
+                f"< {args.min_rows_per_sec} — per-column vectorisation regressed"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {n_rows} rows round-trip exactly; transform "
+        f"{results['transform']['rows_per_sec']:.0f} rows/sec, inverse "
+        f"{results['inverse_transform']['rows_per_sec']:.0f} rows/sec"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,11 @@ The package is organised as a layered system:
 - :mod:`repro.mixture` — Gaussian mixtures, DP-EM, and Gaussian-mixture KL.
 - :mod:`repro.models` — the generative models: VAE, DP-VAE, PGM, **P3GM**, DP-GM, PrivBayes.
 - :mod:`repro.ml` — downstream classifiers and evaluation metrics.
-- :mod:`repro.datasets` — simulators for the paper's six datasets.
+- :mod:`repro.transforms` — schema-aware, invertible table preprocessing
+  (the paper's §IV-E protocol): one pipeline shared by datasets, models,
+  evaluation, and serving.
+- :mod:`repro.datasets` — simulators for the paper's six datasets, plus the
+  mixed-type ``adult_mixed`` variant.
 - :mod:`repro.evaluation` — the synthetic-data utility protocol and experiment runners.
 - :mod:`repro.experiments` — declarative experiment grids: specs, the
   parallel/resumable trial runner, JSONL result stores, and the named

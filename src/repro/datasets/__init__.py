@@ -3,12 +3,19 @@
 from repro.datasets.base import Dataset
 from repro.datasets.images import make_fashion_mnist, make_mnist
 from repro.datasets.registry import DATASET_REGISTRY, dataset_summaries, load_dataset
-from repro.datasets.tabular import make_adult, make_credit, make_esr, make_isolet
+from repro.datasets.tabular import (
+    make_adult,
+    make_adult_mixed,
+    make_credit,
+    make_esr,
+    make_isolet,
+)
 
 __all__ = [
     "Dataset",
     "make_credit",
     "make_adult",
+    "make_adult_mixed",
     "make_isolet",
     "make_esr",
     "make_mnist",

@@ -19,7 +19,17 @@ __all__ = ["Dataset"]
 
 @dataclass
 class Dataset:
-    """A labelled dataset with a fixed train/test split."""
+    """A labelled dataset with a fixed train/test split.
+
+    ``schema`` (a :class:`repro.transforms.TableSchema`) declares what each
+    feature column *is*.  All-numeric datasets carry features already scaled
+    to ``[0, 1]``; mixed-type datasets (any non-numeric column) carry **raw**
+    original-space values — strings for categorical columns — and consumers
+    (the evaluation pipeline, the CLI) run them through a fitted
+    :class:`repro.transforms.TableTransformer` before any synthesizer sees
+    them.  ``schema=None`` means "unspecified, all numeric in [0, 1]" (the
+    image simulators).
+    """
 
     name: str
     X_train: np.ndarray
@@ -28,6 +38,12 @@ class Dataset:
     y_test: np.ndarray
     description: str = ""
     metadata: dict = field(default_factory=dict)
+    schema: object = None
+
+    @property
+    def is_mixed_type(self) -> bool:
+        """True when any feature column needs encoding before synthesis."""
+        return self.schema is not None and not self.schema.is_numeric
 
     @property
     def n_features(self) -> int:
@@ -117,6 +133,7 @@ class Dataset:
             y_test=parts["test"][1],
             description=self.description,
             metadata={**self.metadata, "subsample": fraction},
+            schema=self.schema,
         )
 
     def summary(self) -> dict:

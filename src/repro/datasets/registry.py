@@ -3,13 +3,20 @@
 from __future__ import annotations
 
 from repro.datasets.images import make_fashion_mnist, make_mnist
-from repro.datasets.tabular import make_adult, make_credit, make_esr, make_isolet
+from repro.datasets.tabular import (
+    make_adult,
+    make_adult_mixed,
+    make_credit,
+    make_esr,
+    make_isolet,
+)
 
 __all__ = ["DATASET_REGISTRY", "load_dataset", "dataset_summaries"]
 
 DATASET_REGISTRY = {
     "credit": make_credit,
     "adult": make_adult,
+    "adult_mixed": make_adult_mixed,
     "isolet": make_isolet,
     "esr": make_esr,
     "mnist": make_mnist,
@@ -22,6 +29,7 @@ DATASET_REGISTRY = {
 DEFAULT_SIZES = {
     "credit": 20000,
     "adult": 10000,
+    "adult_mixed": 8000,
     "isolet": 3000,
     "esr": 4000,
     "mnist": 4000,
@@ -35,8 +43,10 @@ def load_dataset(name: str, n_samples=None, random_state=None, subsample=None):
     Parameters
     ----------
     name:
-        One of ``credit``, ``adult``, ``isolet``, ``esr``, ``mnist``,
-        ``fashion_mnist``.
+        One of ``credit``, ``adult``, ``adult_mixed``, ``isolet``, ``esr``,
+        ``mnist``, ``fashion_mnist``.  ``adult_mixed`` is the mixed-type
+        (strings + raw numerics) variant whose features must go through a
+        :class:`repro.transforms.TableTransformer` before synthesis.
     n_samples:
         Total number of rows to simulate (defaults to a laptop-friendly size).
     random_state:

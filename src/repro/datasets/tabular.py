@@ -21,13 +21,19 @@ import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.ml.preprocessing import MinMaxScaler, train_test_split
+from repro.transforms import ColumnSchema, TableSchema
 from repro.utils.rng import as_generator
 
-__all__ = ["make_credit", "make_adult", "make_isolet", "make_esr"]
+__all__ = ["make_credit", "make_adult", "make_adult_mixed", "make_isolet", "make_esr"]
 
 
 def _finalise(name, X, y, rng, description, metadata=None, test_size=0.1) -> Dataset:
-    """Scale to [0, 1], shuffle, and apply the paper's 90/10 split."""
+    """Scale to [0, 1], shuffle, and apply the paper's 90/10 split.
+
+    ``MinMaxScaler`` is the shared :class:`repro.transforms.MinMaxNumeric`
+    arithmetic applied to the whole matrix at once (one vectorised min/max,
+    not a per-column loop — ISOLET has 617 columns).
+    """
     X = MinMaxScaler().fit_transform(X)
     order = rng.permutation(len(X))
     X, y = X[order], y[order]
@@ -42,6 +48,31 @@ def _finalise(name, X, y, rng, description, metadata=None, test_size=0.1) -> Dat
         y_test=y_test,
         description=description,
         metadata=metadata or {},
+        schema=TableSchema.numeric(X.shape[1]),
+    )
+
+
+def _finalise_raw(name, rows, y, schema, rng, description, metadata=None, test_size=0.1) -> Dataset:
+    """Shuffle and split a *raw* (original-space, mixed-type) table.
+
+    No scaling happens here: mixed-type datasets stay in original space and
+    consumers encode them through a :class:`TableTransformer` fitted on the
+    training split (the paper's Section IV-E protocol).
+    """
+    order = rng.permutation(len(rows))
+    rows, y = rows[order], y[order]
+    X_train, X_test, y_train, y_test = train_test_split(
+        rows, y, test_size=test_size, stratify=True, random_state=rng
+    )
+    return Dataset(
+        name=name,
+        X_train=X_train,
+        X_test=X_test,
+        y_train=y_train,
+        y_test=y_test,
+        description=description,
+        metadata=metadata or {},
+        schema=schema,
     )
 
 
@@ -139,6 +170,87 @@ def make_adult(n_samples: int = 10000, random_state=None) -> Dataset:
         y,
         rng,
         "Simulated UCI Adult census income data (binary, low-order dependencies).",
+        {"paper_n": 45222, "paper_features": 15, "paper_positive_rate": 0.241},
+    )
+
+
+#: Category labels of the mixed-type Adult-like simulator, in schema order.
+ADULT_MIXED_CATEGORIES = {
+    "workclass": ("Private", "Self-employed", "Government", "Unemployed"),
+    "education": ("HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate"),
+    "marital_status": ("Never-married", "Married", "Divorced", "Widowed"),
+    "occupation": ("Tech", "Sales", "Service", "Admin", "Manual", "Other"),
+    "sex": ("Female", "Male"),
+}
+
+
+def make_adult_mixed(n_samples: int = 8000, random_state=None) -> Dataset:
+    """Simulated UCI Adult census data in its *original* mixed-type form.
+
+    Unlike :func:`make_adult` (which pre-codes everything as floats in
+    ``[0, 1]``), this simulator emits the table the way a user's CSV would
+    look: string-valued categorical/ordinal/binary columns next to raw-scale
+    numeric ones.  It is the registry's end-to-end exercise for
+    :mod:`repro.transforms` — synthesizers only ever see the encoded matrix,
+    and released artifacts must restore these category labels on ``sample``.
+    """
+    rng = as_generator(random_state)
+    age = rng.integers(17, 90, n_samples).astype(float)
+    hours_per_week = np.clip(rng.normal(40, 12, n_samples), 1, 99).round(1)
+    capital_gain = (rng.exponential(600, n_samples) * (rng.random(n_samples) < 0.1)).round(2)
+
+    categories = ADULT_MIXED_CATEGORIES
+    workclass_index = rng.choice(4, n_samples, p=[0.65, 0.1, 0.15, 0.1])
+    education_index = rng.choice(5, n_samples, p=[0.4, 0.25, 0.2, 0.1, 0.05])
+    marital_index = rng.choice(4, n_samples, p=[0.3, 0.5, 0.15, 0.05])
+    occupation_index = rng.choice(6, n_samples, p=[0.15, 0.15, 0.2, 0.15, 0.25, 0.1])
+    sex_index = rng.integers(0, 2, n_samples)
+
+    married = (marital_index == 1).astype(float)
+    # Same low-order dependency structure as make_adult: income driven by age,
+    # education level, hours, capital gain, marital status, and sex.
+    logits = (
+        0.04 * (age - 38)
+        + 0.6 * (education_index - 1)
+        + 0.03 * (hours_per_week - 40)
+        + 0.0008 * capital_gain
+        + 1.2 * married
+        + 0.4 * sex_index
+        - 3.0
+    )
+    probability = 1.0 / (1.0 + np.exp(-logits))
+    y = (rng.random(n_samples) < probability).astype(int)
+
+    rows = np.empty((n_samples, 8), dtype=object)
+    rows[:, 0] = age
+    rows[:, 1] = np.asarray(categories["workclass"], dtype=object)[workclass_index]
+    rows[:, 2] = np.asarray(categories["education"], dtype=object)[education_index]
+    rows[:, 3] = np.asarray(categories["marital_status"], dtype=object)[marital_index]
+    rows[:, 4] = np.asarray(categories["occupation"], dtype=object)[occupation_index]
+    rows[:, 5] = np.asarray(categories["sex"], dtype=object)[sex_index]
+    rows[:, 6] = capital_gain
+    rows[:, 7] = hours_per_week
+
+    schema = TableSchema(
+        [
+            ColumnSchema("age", "numeric"),
+            ColumnSchema("workclass", "categorical", categories["workclass"]),
+            ColumnSchema("education", "ordinal", categories["education"]),
+            ColumnSchema("marital_status", "categorical", categories["marital_status"]),
+            ColumnSchema("occupation", "categorical", categories["occupation"]),
+            ColumnSchema("sex", "binary", categories["sex"]),
+            ColumnSchema("capital_gain", "numeric"),
+            ColumnSchema("hours_per_week", "numeric"),
+        ]
+    )
+    return _finalise_raw(
+        "adult_mixed",
+        rows,
+        y,
+        schema,
+        rng,
+        "Simulated UCI Adult census income data in original mixed-type form "
+        "(strings + raw-scale numerics; exercises repro.transforms end to end).",
         {"paper_n": 45222, "paper_features": 15, "paper_positive_rate": 0.241},
     )
 

@@ -32,6 +32,7 @@ SCALES = {
 PAPER_SGD_NOISE = {
     "credit": 1.83,
     "adult": 1.6,
+    "adult_mixed": 1.6,
     "isolet": 3.5,
     "esr": 2.9,
     "mnist": 1.42,

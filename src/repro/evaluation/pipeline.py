@@ -12,6 +12,13 @@ For every experiment the paper runs the same loop:
 :func:`evaluate_synthesizer` implements steps 1–5 for one model;
 :func:`evaluate_original` produces the "original" reference column of
 Table VI by skipping the synthesis step.
+
+Mixed-type datasets (any :class:`~repro.datasets.Dataset` whose schema has a
+non-numeric column) are encoded through the shared
+:class:`repro.transforms.TableTransformer` — fitted on the training split,
+applied to both splits — before any synthesizer or classifier sees them,
+exactly the paper's Section IV-E preprocessing.  All-numeric datasets pass
+through untouched (their features are already in ``[0, 1]``).
 """
 
 from __future__ import annotations
@@ -118,6 +125,27 @@ def _task_of(dataset: Dataset) -> str:
     return "binary" if dataset.n_classes == 2 else "multiclass"
 
 
+def _encoded_splits(dataset: Dataset, transformer=None):
+    """``(X_train, X_test, transformer)`` in model space.
+
+    Mixed-type datasets are encoded through ``transformer`` (fitted on the
+    training split when not supplied — e.g. by :func:`evaluate_artifact`,
+    which passes the transformer persisted in the artifact); all-numeric
+    datasets pass through unchanged.
+    """
+    from repro.transforms import TableTransformer
+
+    if transformer is None:
+        if not dataset.is_mixed_type:
+            return dataset.X_train, dataset.X_test, None
+        transformer = TableTransformer(dataset.schema).fit(dataset.X_train)
+    return (
+        transformer.transform(dataset.X_train),
+        transformer.transform(dataset.X_test),
+        transformer,
+    )
+
+
 def evaluate_synthesizer(
     model,
     dataset: Dataset,
@@ -126,6 +154,7 @@ def evaluate_synthesizer(
     n_synthetic: Optional[int] = None,
     fit: bool = True,
     random_state=0,
+    transformer=None,
 ) -> UtilityResult:
     """Run the full utility protocol for one synthesizer on one dataset.
 
@@ -135,7 +164,9 @@ def evaluate_synthesizer(
         A synthesizer following the :class:`repro.models.GenerativeModel`
         protocol (``fit`` + ``sample_labeled``).
     dataset:
-        A :class:`repro.datasets.Dataset` (features already in [0, 1]).
+        A :class:`repro.datasets.Dataset`.  All-numeric datasets carry
+        features already in [0, 1]; mixed-type ones are encoded through a
+        :class:`repro.transforms.TableTransformer` here.
     classifiers:
         Mapping name -> zero-argument factory; defaults to the tabular suite
         for binary datasets and the MLP suite for multi-class ones.
@@ -143,6 +174,10 @@ def evaluate_synthesizer(
         Number of synthetic rows (defaults to the size of the training split).
     fit:
         Set to False if ``model`` is already fitted on this dataset.
+    transformer:
+        Optional *fitted* transformer to encode a mixed-type dataset with
+        (e.g. the one persisted in a released artifact); defaults to one
+        fitted on the training split.
     """
     rng = as_generator(random_state)
     task = _task_of(dataset)
@@ -152,10 +187,11 @@ def evaluate_synthesizer(
             if task == "binary"
             else image_classifier_suite(random_state)
         )
+    X_train, X_test, _ = _encoded_splits(dataset, transformer)
 
     if fit:
-        model.fit(dataset.X_train, dataset.y_train)
-    n_rows = n_synthetic if n_synthetic is not None else len(dataset.X_train)
+        model.fit(X_train, dataset.y_train)
+    n_rows = n_synthetic if n_synthetic is not None else len(X_train)
     X_syn, y_syn = model.sample_labeled(n_rows, rng=rng)
 
     result = UtilityResult(
@@ -168,7 +204,7 @@ def evaluate_synthesizer(
         try:
             classifier.fit(X_syn, y_syn)
             result.per_classifier[name] = _score_classifier(
-                classifier, dataset.X_test, dataset.y_test, task
+                classifier, X_test, dataset.y_test, task
             )
         except ValueError:
             # A degenerate synthesizer can emit a single class; score it at chance.
@@ -192,9 +228,12 @@ def evaluate_artifact(
 
     The model is loaded from disk (:func:`repro.serving.load_artifact`) and
     evaluated as-is (``fit=False``) — this is the consumer-side check that a
-    released synthesizer still carries usable signal.
+    released synthesizer still carries usable signal.  When the artifact
+    persists a preprocessing transformer, the dataset is encoded through
+    *that* transformer (not a freshly fitted one), so evaluation sees exactly
+    the feature space the model was trained on.
     """
-    from repro.serving.artifacts import load_artifact, read_manifest
+    from repro.serving.artifacts import load_artifact, load_transformer, read_manifest
 
     model = load_artifact(artifact_path)
     manifest = read_manifest(artifact_path)
@@ -206,6 +245,7 @@ def evaluate_artifact(
         n_synthetic=n_synthetic,
         fit=False,
         random_state=random_state,
+        transformer=load_transformer(artifact_path),
     )
 
 
@@ -220,11 +260,12 @@ def evaluate_original(
             if task == "binary"
             else image_classifier_suite(random_state)
         )
+    X_train, X_test, _ = _encoded_splits(dataset)
     result = UtilityResult(dataset=dataset.name, model="original", privacy=(float("inf"), 0.0))
     for name, factory in classifiers.items():
         classifier = factory()
-        classifier.fit(dataset.X_train, dataset.y_train)
+        classifier.fit(X_train, dataset.y_train)
         result.per_classifier[name] = _score_classifier(
-            classifier, dataset.X_test, dataset.y_test, task
+            classifier, X_test, dataset.y_test, task
         )
     return result

@@ -16,11 +16,17 @@ Figure 5          ``fig5_dimension_sweep``       P3GM vs DP-PCA dimension
 Figure 6          ``fig6_composition``           RDP vs zCDP+MA accounting
 Figure 7          ``fig7_learning_efficiency``   per-epoch loss/utility curves
 (smoke preset)    ``smoke``                      miniaturized full grid
+(mixed preset)    ``mixed_smoke``                mixed-type utility grid on the
+                                                 ``adult_mixed`` simulator
 ================  =============================  ==============================
 
 The ``smoke`` preset covers every trial kind with subsampled datasets so the
 whole grid runs in well under a minute — the nightly CI job and the
-``python -m repro bench --preset smoke`` artifact use it.
+``python -m repro bench --preset smoke`` artifact use it.  The
+``mixed_smoke`` preset runs the paper's Section IV-E mixed-type protocol end
+to end: categorical/ordinal/binary columns are encoded through
+:class:`repro.transforms.TableTransformer` before synthesis, so it exercises
+the preprocessing subsystem inside the utility pipeline.
 """
 
 from __future__ import annotations
@@ -162,6 +168,15 @@ _DECLARATIONS = {
             "params": {"n_samples": 1000, "subsample": 200, "scale": "small"},
         },
         {
+            "name": "smoke",
+            "kind": "utility",
+            "models": ["PrivBayes"],
+            "datasets": ["adult_mixed"],
+            "epsilons": [1.0],
+            "params": {"n_samples": 2000, "subsample": 400, "scale": "small",
+                       "n_synthetic_cap": 400},
+        },
+        {
             # Full resolved params (not just delta) so these cells share their
             # content address — and thus a cache — with fig6_composition.
             "name": "smoke",
@@ -176,6 +191,26 @@ _DECLARATIONS = {
             "datasets": ["mnist"],
             "epsilons": [1.0],
             "params": {"n_samples": 1000, "subsample": 200, "scale": "small", "epochs": 2},
+        },
+    ),
+    # Mixed-type protocol: the adult_mixed simulator's string categorical /
+    # ordinal / binary columns go through the shared TableTransformer inside
+    # the utility pipeline (fit on train split, applied to both splits).
+    "mixed_smoke": (
+        {
+            "name": "mixed_smoke",
+            "kind": "utility",
+            "models": ["PrivBayes", "P3GM"],
+            "datasets": ["adult_mixed"],
+            "epsilons": [1.0],
+            "params": {"n_samples": 2000, "subsample": 500, "scale": "small",
+                       "n_synthetic_cap": 500},
+        },
+        {
+            "name": "mixed_smoke",
+            "kind": "original",
+            "datasets": ["adult_mixed"],
+            "params": {"n_samples": 2000, "subsample": 500, "scale": "small"},
         },
     ),
 }

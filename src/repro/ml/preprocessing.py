@@ -1,83 +1,29 @@
 """Preprocessing utilities used by the evaluation pipeline.
 
-The generative models expect features in ``[0, 1]`` (Bernoulli decoders), so
-the pipeline min–max scales every dataset before synthesis and keeps the
-scaler to map synthetic data back if needed.
+The generative models expect features in ``[0, 1]`` (Bernoulli decoders).
+The scalers here are thin aliases of the shared numeric column transforms in
+:mod:`repro.transforms` — one implementation of the arithmetic serves the
+datasets, the evaluation pipeline, and mixed-type table preprocessing — kept
+under their historical names for the sklearn-style API.  Both raise the same
+not-fitted ``RuntimeError`` from ``transform`` *and* ``inverse_transform``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
+from repro.transforms.column import MinMaxNumeric, StandardNumeric
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_array
 
 __all__ = ["MinMaxScaler", "StandardScaler", "train_test_split"]
 
 
-class MinMaxScaler:
+class MinMaxScaler(MinMaxNumeric):
     """Scale features to ``[0, 1]`` column-wise (constant columns map to 0)."""
 
-    def __init__(self):
-        self.data_min_: Optional[np.ndarray] = None
-        self.data_max_: Optional[np.ndarray] = None
 
-    def fit(self, X) -> "MinMaxScaler":
-        X = check_array(X, "X")
-        self.data_min_ = X.min(axis=0)
-        self.data_max_ = X.max(axis=0)
-        return self
-
-    def transform(self, X) -> np.ndarray:
-        self._check_fitted()
-        X = check_array(X, "X")
-        span = np.maximum(self.data_max_ - self.data_min_, 1e-12)
-        return np.clip((X - self.data_min_) / span, 0.0, 1.0)
-
-    def fit_transform(self, X) -> np.ndarray:
-        return self.fit(X).transform(X)
-
-    def inverse_transform(self, X) -> np.ndarray:
-        self._check_fitted()
-        X = check_array(X, "X")
-        span = np.maximum(self.data_max_ - self.data_min_, 1e-12)
-        return X * span + self.data_min_
-
-    def _check_fitted(self) -> None:
-        if self.data_min_ is None:
-            raise RuntimeError("MinMaxScaler is not fitted yet")
-
-
-class StandardScaler:
+class StandardScaler(StandardNumeric):
     """Zero-mean unit-variance scaling (constant columns keep variance 1)."""
-
-    def __init__(self):
-        self.mean_: Optional[np.ndarray] = None
-        self.scale_: Optional[np.ndarray] = None
-
-    def fit(self, X) -> "StandardScaler":
-        X = check_array(X, "X")
-        self.mean_ = X.mean(axis=0)
-        std = X.std(axis=0)
-        self.scale_ = np.where(std > 1e-12, std, 1.0)
-        return self
-
-    def transform(self, X) -> np.ndarray:
-        if self.mean_ is None:
-            raise RuntimeError("StandardScaler is not fitted yet")
-        X = check_array(X, "X")
-        return (X - self.mean_) / self.scale_
-
-    def fit_transform(self, X) -> np.ndarray:
-        return self.fit(X).transform(X)
-
-    def inverse_transform(self, X) -> np.ndarray:
-        if self.mean_ is None:
-            raise RuntimeError("StandardScaler is not fitted yet")
-        X = check_array(X, "X")
-        return X * self.scale_ + self.mean_
 
 
 def train_test_split(X, y, test_size: float = 0.1, stratify: bool = True, random_state=None):

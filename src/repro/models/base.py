@@ -111,7 +111,14 @@ class LabelEncodingMixin:
     # -- training-side helpers ----------------------------------------------------
 
     def _attach_labels(self, X: np.ndarray, y) -> np.ndarray:
-        """Concatenate a (possibly replicated) one-hot label block to ``X``."""
+        """Concatenate a (possibly replicated) one-hot label block to ``X``.
+
+        The encoding itself is the shared :class:`repro.transforms.OneHotCategorical`
+        — the same transform mixed-type table preprocessing uses — so label
+        handling and column encoding cannot drift apart.
+        """
+        from repro.transforms import OneHotCategorical
+
         X = check_array(X, "X")
         if y is None:
             self._n_classes = 0
@@ -123,10 +130,10 @@ class LabelEncodingMixin:
         if len(y) != len(X):
             raise ValueError("X and y have inconsistent lengths")
         self._label_repeat = max(1, int(getattr(self, "label_repeat", 1)))
-        self._classes, indices = np.unique(y, return_inverse=True)
+        encoder = OneHotCategorical().fit(y)
+        onehot = encoder.transform(y)
+        self._classes = encoder.categories_
         self._n_classes = len(self._classes)
-        onehot = np.zeros((len(X), self._n_classes))
-        onehot[np.arange(len(X)), indices] = 1.0
         self._label_ratio = onehot.mean(axis=0)
         return np.hstack([X, np.tile(onehot, (1, self._label_repeat))])
 

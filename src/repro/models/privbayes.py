@@ -20,6 +20,13 @@ Implementation notes / documented simplifications:
 - Attributes whose number of distinct values is already at most ``n_bins``
   are treated as categorical without re-binning (this covers labels and
   one-hot columns).
+
+Discretisation is the shared :mod:`repro.transforms` machinery
+(:func:`repro.transforms.fit_discrete_column`): each attribute is either an
+:class:`~repro.transforms.OrdinalCategorical` ("categorical") or an
+:class:`~repro.transforms.EqualWidthDiscretizer` ("continuous"), and the
+serialized ``attribute_{j}.kind``/``.payload`` state-dict layout is unchanged
+from earlier builds, so existing artifacts keep loading.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import numpy as np
 
 from repro.models.base import GenerativeModel
 from repro.privacy.mechanisms import laplace_mechanism
+from repro.transforms import EqualWidthDiscretizer, OrdinalCategorical, fit_discrete_column
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
     check_array,
@@ -42,50 +50,23 @@ from repro.utils.validation import (
 __all__ = ["PrivBayes"]
 
 
-class _Attribute:
-    """Discretisation metadata for one column."""
+def _attribute_state(transform) -> tuple:
+    """``(kind, payload)`` in the historical artifact layout."""
+    if isinstance(transform, OrdinalCategorical):
+        return "categorical", np.asarray(transform.categories_)
+    return "continuous", np.asarray(transform.edges_)
 
-    def __init__(self, values: np.ndarray, n_bins: int):
-        unique = np.unique(values)
-        if len(unique) <= n_bins:
-            self.kind = "categorical"
-            self.categories = unique
-            self.n_levels = len(unique)
-        else:
-            self.kind = "continuous"
-            self.edges = np.linspace(0.0, 1.0, n_bins + 1)
-            self.n_levels = n_bins
 
-    def encode(self, values: np.ndarray) -> np.ndarray:
-        if self.kind == "categorical":
-            lookup = {v: i for i, v in enumerate(self.categories)}
-            nearest = np.array(
-                [lookup.get(v, int(np.argmin(np.abs(self.categories - v)))) for v in values]
-            )
-            return nearest.astype(int)
-        clipped = np.clip(values, 0.0, 1.0)
-        codes = np.digitize(clipped, self.edges[1:-1])
-        return codes.astype(int)
-
-    def decode(self, codes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        if self.kind == "categorical":
-            return self.categories[codes]
-        low = self.edges[codes]
-        high = self.edges[codes + 1]
-        return rng.uniform(low, high)
-
-    @classmethod
-    def from_state(cls, kind: str, payload: np.ndarray) -> "_Attribute":
-        """Rebuild an attribute from serialized categories/bin-edges."""
-        attribute = cls.__new__(cls)
-        attribute.kind = kind
-        if kind == "categorical":
-            attribute.categories = payload
-            attribute.n_levels = len(payload)
-        else:
-            attribute.edges = payload
-            attribute.n_levels = len(payload) - 1
-        return attribute
+def _attribute_from_state(kind: str, payload: np.ndarray):
+    """Rebuild a fitted column discretiser from serialized state."""
+    if kind == "categorical":
+        transform = OrdinalCategorical()
+        return transform.load_state_dict({"categories": payload})
+    edges = np.asarray(payload, dtype=np.float64)
+    transform = EqualWidthDiscretizer(
+        n_bins=len(edges) - 1, feature_range=(float(edges[0]), float(edges[-1]))
+    )
+    return transform.load_state_dict({"edges": edges})
 
 
 class PrivBayes(GenerativeModel):
@@ -139,7 +120,9 @@ class PrivBayes(GenerativeModel):
     # ------------------------------------------------------------------
 
     def _discretise(self, data: np.ndarray) -> np.ndarray:
-        self.attributes_ = [_Attribute(data[:, j], self.n_bins) for j in range(data.shape[1])]
+        self.attributes_ = [
+            fit_discrete_column(data[:, j], self.n_bins) for j in range(data.shape[1])
+        ]
         encoded = np.column_stack(
             [attr.encode(data[:, j]) for j, attr in enumerate(self.attributes_)]
         )
@@ -387,11 +370,9 @@ class PrivBayes(GenerativeModel):
             state["label.classes"] = np.asarray(self._classes)
             state["label.ratio"] = np.asarray(self._label_ratio)
         for j, attribute in enumerate(self.attributes_):
-            state[f"attribute_{j}.kind"] = np.asarray(attribute.kind)
-            payload = (
-                attribute.categories if attribute.kind == "categorical" else attribute.edges
-            )
-            state[f"attribute_{j}.payload"] = np.asarray(payload)
+            kind, payload = _attribute_state(attribute)
+            state[f"attribute_{j}.kind"] = np.asarray(kind)
+            state[f"attribute_{j}.payload"] = payload
         for position, (attribute, parents) in enumerate(self.network_):
             state[f"network.parents_{position}"] = np.asarray(parents, dtype=np.int64)
             state[f"conditional_{attribute}"] = self.conditionals_[attribute][1]
@@ -407,7 +388,7 @@ class PrivBayes(GenerativeModel):
             self._classes = None
             self._label_ratio = None
         self.attributes_ = [
-            _Attribute.from_state(
+            _attribute_from_state(
                 state[f"attribute_{j}.kind"].item(), np.asarray(state[f"attribute_{j}.payload"])
             )
             for j in range(int(state["n_attributes"]))

@@ -15,6 +15,7 @@ from repro.serving.artifacts import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
     load_artifact,
+    load_transformer,
     manifest_privacy,
     read_manifest,
     save_artifact,
@@ -37,6 +38,7 @@ __all__ = [
     "SynthesisService",
     "get_model_spec",
     "load_artifact",
+    "load_transformer",
     "manifest_privacy",
     "read_manifest",
     "registered_synthesizers",

@@ -1,16 +1,23 @@
 """Versioned on-disk artifacts for trained synthesizers.
 
-An artifact is a directory holding exactly two files:
+An artifact is a directory holding two or three files:
 
 - ``manifest.json`` — the release record: artifact format version, model
   class, hyper-parameters (the model's ``get_config()``), the data schema the
-  model was fitted on, and the ``(epsilon, delta)`` privacy guarantee actually
-  spent.  Everything a consumer needs to decide whether to trust and how to
-  query the model, without loading any weights.
+  model was fitted on, the preprocessing pipeline's configuration (format
+  version 2), and the ``(epsilon, delta)`` privacy guarantee actually spent.
+  Everything a consumer needs to decide whether to trust and how to query the
+  model, without loading any weights.
 - ``weights.npz`` — the fitted state (``model.state_dict()``) as plain numpy
   arrays.  Object arrays are never written, so loading uses
   ``allow_pickle=False`` and artifacts cannot execute code on load.
+- ``transformer.npz`` (optional, format version 2) — the fitted
+  :class:`repro.transforms.TableTransformer` state when the model was trained
+  on an encoded mixed-type table.  With it, a released model can emit
+  **original-space** rows (real category labels, raw numeric ranges) from the
+  artifact alone.
 
+Format version 1 artifacts (no transformer) keep loading unchanged.
 Loading refuses unknown format versions and model-class mismatches with
 explicit errors rather than producing a silently wrong synthesizer.
 """
@@ -31,15 +38,17 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
     "load_artifact",
+    "load_transformer",
     "manifest_privacy",
     "read_manifest",
     "save_artifact",
 ]
 
-ARTIFACT_FORMAT_VERSION = 1
-SUPPORTED_FORMAT_VERSIONS = (1,)
+ARTIFACT_FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 MANIFEST_FILENAME = "manifest.json"
 WEIGHTS_FILENAME = "weights.npz"
+TRANSFORMER_FILENAME = "transformer.npz"
 
 
 class ArtifactError(RuntimeError):
@@ -71,7 +80,13 @@ def _schema_of(model) -> dict:
     }
 
 
-def save_artifact(model, path, name: Optional[str] = None, metadata: Optional[dict] = None) -> Path:
+def save_artifact(
+    model,
+    path,
+    name: Optional[str] = None,
+    metadata: Optional[dict] = None,
+    transformer=None,
+) -> Path:
     """Write a fitted synthesizer to ``path`` (a directory) and return it.
 
     Parameters
@@ -84,6 +99,11 @@ def save_artifact(model, path, name: Optional[str] = None, metadata: Optional[di
     metadata:
         Optional JSON-serialisable extras (e.g. the training dataset and seed)
         stored verbatim under the manifest's ``metadata`` key.
+    transformer:
+        Optional fitted :class:`repro.transforms.TableTransformer` the
+        training data went through.  Persisted alongside the weights
+        (config in the manifest, state in ``transformer.npz``) so ``sample``
+        can emit original-space rows from the artifact alone.
     """
     path = Path(path)
     state = model.state_dict()  # raises if the model is not fitted
@@ -97,12 +117,15 @@ def save_artifact(model, path, name: Optional[str] = None, metadata: Optional[di
         "hyperparameters": model.get_config(),
         "privacy": {"epsilon": _encode_float(epsilon), "delta": _encode_float(delta)},
         "schema": _schema_of(model),
+        "transformer": None if transformer is None else transformer.get_config(),
         "state_entries": len(state),
         "metadata": metadata or {},
     }
     path.mkdir(parents=True, exist_ok=True)
     (path / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
     np.savez(path / WEIGHTS_FILENAME, **state)
+    if transformer is not None:
+        np.savez(path / TRANSFORMER_FILENAME, **transformer.state_dict())
     return path
 
 
@@ -179,3 +202,39 @@ def load_artifact(path, expected_class=None):
     except (KeyError, ValueError) as error:
         raise ArtifactError(f"artifact {path} has corrupt or incompatible weights: {error}") from error
     return model
+
+
+def load_transformer(path):
+    """Load the fitted preprocessing pipeline of an artifact, if it has one.
+
+    Returns a fitted :class:`repro.transforms.TableTransformer`, or ``None``
+    for artifacts released without one (including every format-version-1
+    artifact, which predates transformer persistence).
+    """
+    from repro.transforms import TableTransformer
+
+    path = Path(path)
+    manifest = read_manifest(path)
+    config = manifest.get("transformer")
+    if config is None:
+        return None
+    transformer_path = path / TRANSFORMER_FILENAME
+    if not transformer_path.is_file():
+        raise ArtifactError(
+            f"artifact {path} declares a transformer but {TRANSFORMER_FILENAME} is missing"
+        )
+    try:
+        transformer = TableTransformer.from_config(config)
+    except (KeyError, ValueError) as error:
+        raise ArtifactError(
+            f"artifact {path} has an invalid transformer config: {error}"
+        ) from error
+    with np.load(transformer_path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files}
+    try:
+        transformer.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise ArtifactError(
+            f"artifact {path} has corrupt or incompatible transformer state: {error}"
+        ) from error
+    return transformer

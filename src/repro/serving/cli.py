@@ -2,25 +2,32 @@
 
 Subcommands
 -----------
-- ``train``    — fit a registered synthesizer on a simulated dataset and write
-  a versioned artifact (weights + manifest).
+- ``train``    — fit a registered synthesizer on a simulated dataset *or* on
+  a mixed-type CSV (``--data table.csv``, schema declared via ``--schema`` or
+  inferred) and write a versioned artifact (weights + manifest + the fitted
+  preprocessing transformer when one was used).
 - ``sample``   — stream synthetic rows from an artifact to CSV/stdout in
   bounded-memory chunks (``-n 10_000_000`` never builds one dense array).
+  Artifacts released with a transformer emit **original-space** rows — real
+  category labels and raw numeric ranges — by default (``--model-space``
+  opts out).
 - ``evaluate`` — run the paper's utility protocol (classifiers trained on
   synthetic data, tested on real data) against a released artifact.
 - ``inspect``  — print an artifact's manifest, including the ``(epsilon,
   delta)`` guarantee recorded at release time.
 - ``bench``    — run a named experiment spec (a paper table/figure grid or
-  the miniaturized ``smoke`` preset) through the parallel, resumable
-  experiment runner; writes the JSONL trial records plus a
+  the miniaturized ``smoke``/``mixed_smoke`` presets) through the parallel,
+  resumable experiment runner; writes the JSONL trial records plus a
   ``BENCH_experiments.json`` summary and prints the aggregated table.
 
 Examples::
 
     python -m repro train --model p3gm --dataset credit --rows 2000 \
         --epochs 2 --hidden 64 --epsilon 1.0 --output artifacts/p3gm-credit
+    python -m repro train --model privbayes --data adult.csv --label income \
+        --epsilon 1.0 --output artifacts/privbayes-adult
     python -m repro inspect --artifact artifacts/p3gm-credit
-    python -m repro sample --artifact artifacts/p3gm-credit -n 1_000_000 \
+    python -m repro sample --artifact artifacts/privbayes-adult -n 1_000_000 \
         --chunk-size 8192 --seed 7 --output synthetic.csv
     python -m repro evaluate --artifact artifacts/p3gm-credit
     python -m repro bench --spec fig6_composition
@@ -49,6 +56,7 @@ from repro.serving.artifacts import (
 )
 from repro.serving.registry import get_model_spec, registered_synthesizers
 from repro.serving.service import DEFAULT_CHUNK_SIZE, SynthesisService
+from repro.transforms import TableSchema, TableTransformer, read_csv, write_csv
 
 __all__ = ["main", "build_parser"]
 
@@ -66,7 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = subparsers.add_parser("train", help="fit a synthesizer and write an artifact")
     train.add_argument("--model", required=True, choices=registered_synthesizers())
-    train.add_argument("--dataset", required=True, help="dataset registry name (e.g. credit)")
+    source = train.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", default=None, help="dataset registry name (e.g. credit)")
+    source.add_argument("--data", type=Path, default=None,
+                        help="CSV file to train on (mixed types allowed)")
+    train.add_argument("--schema", type=Path, default=None,
+                       help="table schema JSON for --data (default: inferred)")
+    train.add_argument("--label", default=None,
+                       help="label column name in --data (trains a labeled model)")
     train.add_argument("--rows", type=int, default=None, help="simulated dataset size")
     train.add_argument("--output", required=True, type=Path, help="artifact directory to write")
     train.add_argument("--name", default=None, help="artifact name recorded in the manifest")
@@ -89,10 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
     sample.add_argument("--labeled", action="store_true", help="emit (features, label) rows")
     sample.add_argument("--no-header", action="store_true")
+    sample.add_argument("--model-space", action="store_true",
+                        help="emit raw model-space [0, 1] columns even when the "
+                             "artifact carries a preprocessing transformer")
 
     evaluate = subparsers.add_parser("evaluate", help="utility protocol against an artifact")
     evaluate.add_argument("--artifact", required=True, type=Path)
     evaluate.add_argument("--dataset", default=None, help="defaults to the training dataset")
+    evaluate.add_argument("--data", type=Path, default=None,
+                          help="CSV to evaluate against (defaults to the training "
+                               "CSV recorded in a --data-trained artifact)")
+    evaluate.add_argument("--label", default=None,
+                          help="label column in --data (defaults to the artifact's)")
     evaluate.add_argument("--rows", type=int, default=None)
     evaluate.add_argument("--synthetic-rows", type=int, default=None)
     evaluate.add_argument("--seed", type=int, default=0)
@@ -147,22 +170,82 @@ def _model_kwargs(args: argparse.Namespace, cls: type) -> dict:
     return kwargs
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
-    spec = get_model_spec(args.model)
+def _load_csv_training_table(args: argparse.Namespace):
+    """The ``--data table.csv`` path: returns ``(X, labels, transformer, metadata)``.
+
+    Features are encoded through a :class:`TableTransformer` built from the
+    declared (``--schema``) or inferred schema; the fitted transformer is
+    persisted in the artifact so sampling can restore original-space rows.
+    """
+    from repro.transforms.column import as_typed_values
+
+    names, rows = read_csv(args.data)
+    labels = None
+    if args.label is not None:
+        if args.label not in names:
+            raise ValueError(
+                f"label column {args.label!r} is not in {args.data} "
+                f"(columns: {names})"
+            )
+        index = names.index(args.label)
+        labels = as_typed_values(rows[:, index])
+        keep = [i for i in range(rows.shape[1]) if i != index]
+        rows = rows[:, keep]
+        names = [name for i, name in enumerate(names) if i != index]
+    schema = None
+    if args.schema is not None:
+        schema = TableSchema.from_json(args.schema)
+        if args.label is not None and args.label in schema.names:
+            schema = schema.drop(args.label)
+    transformer = TableTransformer(schema)
+    X = transformer.fit_transform(rows, names=names)
+    metadata = {
+        "data": str(args.data),
+        "rows": len(rows),
+        "label": args.label,
+        "seed": args.seed,
+        "labeled": labels is not None,
+    }
+    return X, labels, transformer, metadata, args.data.name
+
+
+def _load_dataset_training_table(args: argparse.Namespace):
+    """The ``--dataset name`` path; mixed-type simulators are encoded here."""
     data = load_dataset(args.dataset, n_samples=args.rows, random_state=args.seed)
-    kwargs = _model_kwargs(args, spec.cls)
-    model = spec.cls(random_state=args.seed, **kwargs)
     labels = None if args.unlabeled else data.y_train
-    print(f"training {spec.cls.__name__} on {data.name} ({len(data.X_train)} rows)...")
-    model.fit(data.X_train, labels)
-    epsilon, delta = model.privacy_spent()
+    transformer = None
+    X = data.X_train
+    if data.is_mixed_type:
+        transformer = TableTransformer(data.schema).fit(data.X_train)
+        X = transformer.transform(data.X_train)
     metadata = {
         "dataset": args.dataset,
         "rows": len(data.X_train) + len(data.X_test),
         "seed": args.seed,
         "labeled": not args.unlabeled,
     }
-    save_artifact(model, args.output, name=args.name or args.model, metadata=metadata)
+    return X, labels, transformer, metadata, data.name
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = get_model_spec(args.model)
+    if args.data is not None:
+        X, labels, transformer, metadata, source = _load_csv_training_table(args)
+    else:
+        X, labels, transformer, metadata, source = _load_dataset_training_table(args)
+    kwargs = _model_kwargs(args, spec.cls)
+    model = spec.cls(random_state=args.seed, **kwargs)
+    encoded = "" if transformer is None else f", {X.shape[1]} encoded columns"
+    print(f"training {spec.cls.__name__} on {source} ({len(X)} rows{encoded})...")
+    model.fit(X, labels)
+    epsilon, delta = model.privacy_spent()
+    save_artifact(
+        model,
+        args.output,
+        name=args.name or args.model,
+        metadata=metadata,
+        transformer=transformer,
+    )
     print(f"privacy spent: epsilon={epsilon:.4g} delta={delta:g}")
     print(f"artifact written to {args.output}")
     return 0
@@ -186,26 +269,43 @@ def _open_output(target: str):
 
 def _cmd_sample(args: argparse.Namespace) -> int:
     service = SynthesisService(chunk_size=args.chunk_size)
+    original = not args.model_space and service.transformer(args.artifact) is not None
+    feature_names = (
+        list(service.transformer(args.artifact).schema.names) if original else None
+    )
     written = 0
     with _open_output(args.output) as out:
         if args.labeled:
             chunks = service.stream_labeled(
-                args.artifact, args.n_samples, seed=args.seed, chunk_size=args.chunk_size
+                args.artifact, args.n_samples, seed=args.seed,
+                chunk_size=args.chunk_size, original_space=original,
             )
             for X, y in chunks:
                 if written == 0 and not args.no_header:
-                    out.write(",".join([f"feature_{i}" for i in range(X.shape[1])] + ["label"]) + "\n")
-                for row, label in zip(X, y):
-                    out.write(",".join(f"{value:.10g}" for value in row) + f",{label}\n")
+                    names = feature_names or [f"feature_{i}" for i in range(X.shape[1])]
+                    out.write(",".join(names + ["label"]) + "\n")
+                if original:
+                    rows = np.empty((len(X), X.shape[1] + 1), dtype=object)
+                    rows[:, :-1] = X
+                    rows[:, -1] = y
+                    write_csv(out, rows)
+                else:
+                    for row, label in zip(X, y):
+                        out.write(",".join(f"{value:.10g}" for value in row) + f",{label}\n")
                 written += len(X)
         else:
             chunks = service.stream(
-                args.artifact, args.n_samples, seed=args.seed, chunk_size=args.chunk_size
+                args.artifact, args.n_samples, seed=args.seed,
+                chunk_size=args.chunk_size, original_space=original,
             )
             for chunk in chunks:
                 if written == 0 and not args.no_header:
-                    out.write(",".join(f"column_{i}" for i in range(chunk.shape[1])) + "\n")
-                np.savetxt(out, chunk, delimiter=",", fmt="%.10g")
+                    names = feature_names or [f"column_{i}" for i in range(chunk.shape[1])]
+                    out.write(",".join(names) + "\n")
+                if original:
+                    write_csv(out, chunk)
+                else:
+                    np.savetxt(out, chunk, delimiter=",", fmt="%.10g")
                 written += len(chunk)
     if args.output != "-":
         print(f"wrote {written} rows to {args.output}")
@@ -217,20 +317,61 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------------------
 
 
+def _dataset_from_csv(path, label, seed):
+    """Build a 90/10-split :class:`Dataset` from a labelled CSV for evaluation."""
+    from repro.datasets import Dataset
+    from repro.ml.preprocessing import train_test_split
+    from repro.transforms.column import as_typed_values
+
+    names, rows = read_csv(path)
+    if label is None:
+        raise ValueError(
+            "evaluating a CSV-trained artifact needs its label column; pass --label"
+        )
+    if label not in names:
+        raise ValueError(f"label column {label!r} is not in {path} (columns: {names})")
+    index = names.index(label)
+    labels = as_typed_values(rows[:, index])
+    keep = [i for i in range(rows.shape[1]) if i != index]
+    X_train, X_test, y_train, y_test = train_test_split(
+        rows[:, keep], labels, test_size=0.1, stratify=True, random_state=seed
+    )
+    return Dataset(
+        name=Path(path).name,
+        X_train=X_train,
+        X_test=X_test,
+        y_train=y_train,
+        y_test=y_test,
+        description=f"evaluation split of {path}",
+    )
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluation import evaluate_artifact, format_rows
 
     manifest = read_manifest(args.artifact)
     metadata = manifest.get("metadata", {})
     dataset_name = args.dataset or metadata.get("dataset")
-    if dataset_name is None:
-        print("error: artifact does not record its dataset; pass --dataset", file=sys.stderr)
+    data_path = args.data or metadata.get("data")
+    if dataset_name is not None and args.data is None:
+        rows = args.rows if args.rows is not None else metadata.get("rows")
+        # Regenerate the training-time dataset (same simulator seed) unless
+        # the caller explicitly evaluates on a different dataset.
+        dataset_seed = metadata.get("seed", args.seed) if args.dataset is None else args.seed
+        data = load_dataset(dataset_name, n_samples=rows, random_state=dataset_seed)
+    elif data_path is not None:
+        # CSV-trained artifact (or explicit --data): split the table 90/10 and
+        # run the protocol through the artifact's stored transformer.
+        data = _dataset_from_csv(
+            data_path, args.label or metadata.get("label"), metadata.get("seed", args.seed)
+        )
+    else:
+        print(
+            "error: artifact records neither a dataset nor a training CSV; "
+            "pass --dataset or --data",
+            file=sys.stderr,
+        )
         return 2
-    rows = args.rows if args.rows is not None else metadata.get("rows")
-    # Regenerate the training-time dataset (same simulator seed) unless the
-    # caller explicitly evaluates on a different dataset.
-    dataset_seed = metadata.get("seed", args.seed) if args.dataset is None else args.seed
-    data = load_dataset(dataset_name, n_samples=rows, random_state=dataset_seed)
     result = evaluate_artifact(
         args.artifact, data, n_synthetic=args.synthetic_rows, random_state=args.seed
     )
@@ -258,6 +399,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"privacy spent:  epsilon={epsilon:.6g}  delta={delta:g}")
     print(f"schema:         {schema.get('n_input_features')} input features, "
           f"classes={schema.get('classes')}")
+    transformer = manifest.get("transformer")
+    if transformer:
+        kinds = ", ".join(
+            f"{column['name']}:{column['kind']}"
+            for column in transformer["schema"]["columns"]
+        )
+        print(f"transformer:    {transformer.get('numeric', 'minmax')} numeric; {kinds}")
     print("hyperparameters:")
     for key, value in sorted(manifest["hyperparameters"].items()):
         print(f"  {key} = {value}")

@@ -19,7 +19,12 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.serving.artifacts import ArtifactError, load_artifact, read_manifest
+from repro.serving.artifacts import (
+    ArtifactError,
+    load_artifact,
+    load_transformer,
+    read_manifest,
+)
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_n_samples, check_positive
 
@@ -51,6 +56,7 @@ class SynthesisService:
         self.chunk_size = int(chunk_size)
         self._registry: dict = {}
         self._cache: OrderedDict = OrderedDict()
+        self._transformers: dict = {}
         self._hits = 0
         self._misses = 0
 
@@ -84,8 +90,20 @@ class SynthesisService:
         model = load_artifact(key)
         self._cache[key] = model
         while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            self._transformers.pop(evicted, None)
         return model
+
+    def transformer(self, ref):
+        """The artifact's fitted preprocessing pipeline (``None`` if absent).
+
+        Cached alongside the model so repeated original-space requests do not
+        re-read ``transformer.npz``.
+        """
+        key = str(self.resolve(ref))
+        if key not in self._transformers:
+            self._transformers[key] = load_transformer(key)
+        return self._transformers[key]
 
     def manifest(self, ref) -> dict:
         """The artifact's manifest (no weights are loaded)."""
@@ -95,8 +113,11 @@ class SynthesisService:
         """Drop one model (or all of them) from the cache."""
         if ref is None:
             self._cache.clear()
+            self._transformers.clear()
             return
-        self._cache.pop(str(self.resolve(ref)), None)
+        key = str(self.resolve(ref))
+        self._cache.pop(key, None)
+        self._transformers.pop(key, None)
 
     @property
     def cache_stats(self) -> dict:
@@ -121,28 +142,68 @@ class SynthesisService:
     def _request_rng(self, seed) -> Optional[np.random.Generator]:
         return None if seed is None else as_generator(seed)
 
+    def _inverse(self, ref, original_space: bool, model):
+        """The per-chunk decoder for original-space requests (or ``None``)."""
+        if not original_space:
+            return None
+        transformer = self.transformer(ref)
+        if transformer is None:
+            raise ArtifactError(
+                f"artifact {ref!r} was released without a preprocessing "
+                "transformer; original-space output is unavailable"
+            )
+        width = transformer.output_width
+
+        def decode(chunk):
+            # Labelled mixin models return features *plus* the one-hot label
+            # block from raw sample(); only the feature columns are the
+            # transformer's model space.  Any other width mismatch falls
+            # through to inverse_transform's own error.
+            if chunk.shape[1] != width:
+                label_block = getattr(model, "_label_block_width", None)
+                if callable(label_block) and chunk.shape[1] == width + label_block():
+                    chunk = chunk[:, :width]
+            return transformer.inverse_transform(chunk)
+
+        return decode
+
     def stream(
-        self, ref, n_samples: int, seed=None, chunk_size: Optional[int] = None
+        self,
+        ref,
+        n_samples: int,
+        seed=None,
+        chunk_size: Optional[int] = None,
+        original_space: bool = False,
     ) -> Iterator[np.ndarray]:
         """Yield synthetic feature rows in chunks of at most ``chunk_size``.
 
         The generator draws lazily, so peak memory is one chunk (plus the
-        model), regardless of ``n_samples``.
+        model), regardless of ``n_samples``.  With ``original_space=True``
+        each chunk is decoded through the artifact's fitted transformer —
+        category labels and raw numeric ranges instead of the model-space
+        ``[0, 1]`` matrix (requires the artifact to carry one).
         """
         n_samples, chunk_size, model = self._open_request(ref, n_samples, chunk_size)
+        inverse = self._inverse(ref, original_space, model)
         rng = self._request_rng(seed)
 
         def generate():
             remaining = n_samples
             while remaining > 0:
                 take = min(chunk_size, remaining)
-                yield model.sample(take, rng=rng)
+                chunk = model.sample(take, rng=rng)
+                yield chunk if inverse is None else inverse(chunk)
                 remaining -= take
 
         return generate()
 
     def stream_labeled(
-        self, ref, n_samples: int, seed=None, chunk_size: Optional[int] = None
+        self,
+        ref,
+        n_samples: int,
+        seed=None,
+        chunk_size: Optional[int] = None,
+        original_space: bool = False,
     ) -> Iterator[tuple]:
         """Yield ``(X, y)`` chunks whose *totals* match the training label ratio.
 
@@ -150,8 +211,11 @@ class SynthesisService:
         quotas (monotone cumulative rounding), not re-rounded per chunk —
         otherwise any class with ratio below ``0.5 / chunk_size`` would be
         rounded to zero in every chunk and silently vanish from the release.
+        ``original_space=True`` decodes each feature chunk through the
+        artifact's fitted transformer (labels are emitted as-is either way).
         """
         n_samples, chunk_size, model = self._open_request(ref, n_samples, chunk_size)
+        inverse = self._inverse(ref, original_space, model)
         rng = self._request_rng(seed)
         ratio = getattr(model, "_label_ratio", None)
         if ratio is None:
@@ -175,9 +239,10 @@ class SynthesisService:
                 for _ in range(int(take - counts.sum())):
                     counts[np.argmax(total_quotas - (emitted + counts))] += 1
                 emitted += counts
-                yield model.sample_labeled(
+                features, labels = model.sample_labeled(
                     take, rng=rng, generation_rng=rng, class_counts=counts
                 )
+                yield (features if inverse is None else inverse(features)), labels
 
         return generate()
 

@@ -30,7 +30,20 @@ def check_array(X, name: str = "X", ndim: int = 2, dtype=np.float64) -> np.ndarr
             )
         raise ValueError(f"{name} must not be empty; got shape {arr.shape}")
     if not np.all(np.isfinite(arr)):
-        raise ValueError(f"{name} contains NaN or infinite values")
+        # Report *which* columns are offending: with mixed-type CSV ingestion
+        # this is the first error users hit, and "somewhere in a 617-wide
+        # matrix" is not actionable.
+        if arr.ndim == 2:
+            offending = np.flatnonzero(~np.isfinite(arr).all(axis=0))
+            raise ValueError(
+                f"{name} contains NaN or infinite values "
+                f"(offending column indices: {offending.tolist()[:10]})"
+            )
+        offending = np.flatnonzero(~np.isfinite(arr).reshape(len(arr), -1).all(axis=1))
+        raise ValueError(
+            f"{name} contains NaN or infinite values "
+            f"(offending indices: {offending.tolist()[:10]})"
+        )
     return np.ascontiguousarray(arr)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from contract_kit import make_contract_data, tiny_model
+from contract_kit import make_contract_data, make_mixed_contract_setup, tiny_model
 from repro.serving.registry import registered_synthesizers
 
 
@@ -16,3 +16,15 @@ def fitted_contract_models(contract_data):
     """name -> fitted tiny instance, one fit per session for the whole kit."""
     X, y = contract_data
     return {name: tiny_model(name).fit(X, y) for name in registered_synthesizers()}
+
+
+@pytest.fixture(scope="session")
+def mixed_contract_setup():
+    """(dataset, transformer, name -> model fitted on the encoded table)."""
+    dataset, transformer = make_mixed_contract_setup()
+    encoded = transformer.transform(dataset.X_train)
+    models = {
+        name: tiny_model(name).fit(encoded, dataset.y_train)
+        for name in registered_synthesizers()
+    }
+    return dataset, transformer, models

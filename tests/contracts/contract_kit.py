@@ -54,3 +54,18 @@ def make_contract_data():
     y = rng.integers(0, 2, n)
     X = np.clip(centers[y] + 0.1 * rng.normal(size=(n, d)), 0.0, 1.0)
     return X, y
+
+
+def make_mixed_contract_setup(random_state: int = 0):
+    """A tiny mixed-type dataset plus its fitted table transformer.
+
+    The registry-driven mixed-type contract fits every model on the encoded
+    table and asserts its samples decode back to valid original-space rows —
+    real category labels, numeric values inside the training range.
+    """
+    from repro.datasets import load_dataset
+    from repro.transforms import TableTransformer
+
+    dataset = load_dataset("adult_mixed", n_samples=260, random_state=random_state)
+    transformer = TableTransformer(dataset.schema).fit(dataset.X_train)
+    return dataset, transformer

@@ -21,6 +21,7 @@ from repro.ml import LogisticRegression, accuracy_score, roc_auc_score
 EXPECTED_SHAPES = {
     "credit": (29, 2),
     "adult": (15, 2),
+    "adult_mixed": (8, 2),
     "isolet": (617, 2),
     "esr": (179, 2),
     "mnist": (784, 10),
@@ -39,7 +40,11 @@ class TestShapesAndBalance:
 
     @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
     def test_features_in_unit_interval(self, name):
+        # Mixed-type datasets are raw by design; the [0, 1] guarantee applies
+        # to their *encoded* form, asserted in TestMixedTypeSimulator.
         data = load_dataset(name, n_samples=400, random_state=0)
+        if data.is_mixed_type:
+            pytest.skip("raw mixed-type dataset: [0, 1] holds in encoded space")
         for split in (data.X_train, data.X_test):
             assert split.min() >= 0.0 and split.max() <= 1.0
 
@@ -64,6 +69,45 @@ class TestShapesAndBalance:
         data = make_credit(n_samples=10000, random_state=0)
         assert len(data.X_test) == pytest.approx(0.1 * data.n_samples, rel=0.1)
         assert data.y_test.sum() >= 1  # rare positives present in the test split
+
+
+class TestMixedTypeSimulator:
+    def test_raw_table_matches_declared_schema(self):
+        from repro.datasets.tabular import ADULT_MIXED_CATEGORIES
+
+        data = load_dataset("adult_mixed", n_samples=800, random_state=0)
+        assert data.is_mixed_type and data.X_train.dtype == object
+        assert data.schema.names == (
+            "age", "workclass", "education", "marital_status",
+            "occupation", "sex", "capital_gain", "hours_per_week",
+        )
+        for split in (data.X_train, data.X_test):
+            for name, categories in ADULT_MIXED_CATEGORIES.items():
+                column = split[:, data.schema.index_of(name)]
+                assert set(column) <= set(categories)
+            ages = split[:, data.schema.index_of("age")].astype(float)
+            assert ages.min() >= 17 and ages.max() <= 89
+
+    def test_positive_rate_near_paper(self):
+        data = load_dataset("adult_mixed", n_samples=8000, random_state=0)
+        assert 0.15 < data.positive_rate < 0.35
+
+    def test_encoded_form_is_dense_unit_interval(self):
+        from repro.transforms import TableTransformer
+
+        data = load_dataset("adult_mixed", n_samples=600, random_state=0)
+        transformer = TableTransformer(data.schema).fit(data.X_train)
+        for split in (data.X_train, data.X_test):
+            encoded = transformer.transform(split)
+            assert encoded.dtype == np.float64
+            assert encoded.min() >= 0.0 and encoded.max() <= 1.0
+
+    def test_subsample_keeps_schema_and_raw_values(self):
+        data = load_dataset("adult_mixed", n_samples=800, random_state=0)
+        small = data.subsample(100, random_state=3)
+        assert small.schema is data.schema
+        assert small.X_train.dtype == object
+        assert len(small.X_train) in (100, 101)
 
 
 class TestReproducibilityAndRegistry:

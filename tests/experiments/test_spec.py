@@ -97,6 +97,7 @@ def test_registry_names_every_paper_table_and_figure():
         "fig6_composition",
         "fig7_learning_efficiency",
         "smoke",
+        "mixed_smoke",
     ):
         assert name in EXPERIMENTS
         assert expand_specs(get_experiment(name))

@@ -117,7 +117,7 @@ class TestInspect:
     def test_json_mode_round_trips(self, trained_artifact, capsys):
         assert main(["inspect", "--artifact", str(trained_artifact), "--json"]) == 0
         manifest = json.loads(capsys.readouterr().out)
-        assert manifest["format_version"] == 1
+        assert manifest["format_version"] == 2
 
     def test_private_model_manifest_reports_spent_epsilon(self, tmp_path, capsys, fitted_models):
         path = save_artifact(fitted_models["p3gm"], tmp_path / "p3gm")

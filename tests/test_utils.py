@@ -41,6 +41,18 @@ class TestValidation:
         with pytest.raises(ValueError):
             check_array(np.array([[1.0, np.nan]]))
 
+    def test_check_array_nan_error_names_offending_columns(self):
+        X = np.ones((4, 5))
+        X[1, 1] = np.nan
+        X[2, 3] = np.inf
+        with pytest.raises(ValueError, match=r"offending column indices: \[1, 3\]"):
+            check_array(X)
+
+    def test_check_array_1d_nan_error_names_offending_indices(self):
+        values = np.array([0.0, np.nan, 2.0])
+        with pytest.raises(ValueError, match=r"offending indices: \[1\]"):
+            check_array(values, ndim=1)
+
     def test_check_array_rejects_wrong_ndim(self):
         with pytest.raises(ValueError):
             check_array(np.ones(3))
