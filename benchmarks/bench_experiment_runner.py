@@ -93,9 +93,13 @@ def main(argv=None) -> int:
         "records_identical": serial.records == pooled.records,
         "warm_cache_recomputed": resumed.executed,
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"results -> {RESULTS_PATH}")
+    if args.smoke:
+        # Never clobber the committed full-run record with smoke numbers.
+        print(json.dumps(results, indent=2))
+    else:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"results -> {RESULTS_PATH}")
 
     failures = []
     if not results["records_identical"]:

@@ -134,9 +134,13 @@ def main(argv=None) -> int:
         ),
         "max_stream_mb_allowed": args.max_stream_mb,
     }
-    args.output.parent.mkdir(exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    if args.smoke:
+        # Never clobber the committed full-run record with smoke numbers.
+        print(json.dumps(report, indent=2))
+    else:
+        args.output.parent.mkdir(exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
 
     failures = []
     if stream_same["peak_memory_mb"] >= oneshot["peak_memory_mb"] / 2:

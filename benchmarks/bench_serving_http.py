@@ -1,0 +1,251 @@
+"""HTTP serving load benchmark: throughput, tail latency, flat memory.
+
+Drives the :mod:`repro.server` tier the way production traffic would — many
+concurrent stdlib clients streaming seeded NDJSON requests against one
+in-process :class:`SynthesisHTTPServer` — and measures:
+
+- **sustained req/s and p50/p99 latency** at 1, 8, and 32 concurrent
+  clients (every request must complete with status 200; a saturated or
+  wedged server fails the run, not just slows it);
+- **peak traced memory** while a client consumes one large streamed request
+  incrementally, against a one-shot in-process ``model.sample(n)`` of the
+  same size — the HTTP tier must inherit the service's bounded-chunk
+  property, not regress to materialising the request.
+
+Writes ``benchmarks/results/BENCH_serving_http.json`` and exits non-zero if
+any request fails, if smoke-mode p99 exceeds ``--p99-budget``, or if the
+streamed request's peak memory is not decisively below the one-shot peak.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_http.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving_http.py --smoke  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import tempfile
+import threading
+import time
+import tracemalloc
+from pathlib import Path
+from urllib.request import Request, urlopen
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.models import VAE
+from repro.server import SynthesisHTTPServer
+from repro.serving import SynthesisService, save_artifact
+from repro.utils.logging import StructuredLogger
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving_http.json"
+
+REF = "vae-credit"
+
+
+def build_artifact(root: Path, seed: int = 0) -> Path:
+    """Train a small VAE on the credit simulator and release it."""
+    data = load_dataset("credit", n_samples=1500, random_state=seed)
+    model = VAE(latent_dim=10, hidden=(64,), epochs=1, batch_size=200, random_state=seed)
+    model.fit(data.X_train, data.y_train)
+    return save_artifact(model, root / REF, name="bench-vae")
+
+
+def start_server(root: Path, workers: int):
+    # Access logs go to an in-memory buffer: the benchmark measures the
+    # serving path, and JSON lines on stderr would swamp the report.
+    service = SynthesisService(artifact_root=root)
+    server = SynthesisHTTPServer(
+        ("127.0.0.1", 0), service, workers=workers,
+        access_log=StructuredLogger(io.StringIO()),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, service, thread
+
+
+def one_request(port: int, n_rows: int, seed: int, chunk_size: int) -> tuple:
+    """One streamed NDJSON request, consumed incrementally; returns
+    ``(latency_seconds, ok, bytes_received)``."""
+    body = json.dumps(
+        {"n_samples": n_rows, "seed": seed, "chunk_size": chunk_size}
+    ).encode()
+    request = Request(
+        f"http://127.0.0.1:{port}/v1/models/{REF}/sample",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    started = time.perf_counter()
+    received = 0
+    try:
+        with urlopen(request, timeout=120) as response:
+            ok = response.status == 200
+            while True:
+                piece = response.read(1 << 16)
+                if not piece:
+                    break
+                received += len(piece)
+    except Exception:
+        ok = False
+    return time.perf_counter() - started, ok, received
+
+
+def run_load(port: int, concurrency: int, requests_per_client: int,
+             n_rows: int, chunk_size: int) -> dict:
+    """``concurrency`` clients, each issuing ``requests_per_client`` seeded
+    streams back to back; latencies are per complete response."""
+    latencies: list = []
+    failures = [0]
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for request_index in range(requests_per_client):
+            seed = index * 1000 + request_index
+            latency, ok, _ = one_request(port, n_rows, seed, chunk_size)
+            with lock:
+                latencies.append(latency)
+                if not ok:
+                    failures[0] += 1
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    total = concurrency * requests_per_client
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "rows_per_request": n_rows,
+        "failures": failures[0],
+        "duration_s": round(elapsed, 3),
+        "requests_per_sec": round(total / elapsed, 1),
+        "rows_per_sec": round(total * n_rows / elapsed, 1),
+        "p50_latency_ms": round(float(np.percentile(latencies, 50)) * 1000, 2),
+        "p99_latency_ms": round(float(np.percentile(latencies, 99)) * 1000, 2),
+        "max_latency_ms": round(max(latencies) * 1000, 2),
+    }
+
+
+def measure_stream_memory(port: int, n_rows: int, chunk_size: int) -> dict:
+    """Peak traced memory while consuming one large streamed request."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    _, ok, received = one_request(port, n_rows, seed=7, chunk_size=chunk_size)
+    elapsed = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "mode": "http_stream",
+        "n_rows": n_rows,
+        "chunk_size": chunk_size,
+        "ok": ok,
+        "bytes_received": received,
+        "duration_s": round(elapsed, 3),
+        "peak_memory_mb": round(peak / 1e6, 2),
+    }
+
+
+def measure_oneshot_memory(service: SynthesisService, n_rows: int) -> dict:
+    """Peak traced memory of the materialised in-process baseline."""
+    model = service.get(REF)
+    tracemalloc.start()
+    rows = len(model.sample(n_rows, rng=np.random.default_rng(7)))
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "mode": "oneshot",
+        "n_rows": rows,
+        "chunk_size": None,
+        "peak_memory_mb": round(peak / 1e6, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes + hard gates (CI)")
+    parser.add_argument("--p99-budget", type=float, default=5.0,
+                        help="smoke gate: p99 latency bound in seconds")
+    parser.add_argument("--workers", type=int, default=48,
+                        help="server worker cap (must exceed peak concurrency)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        levels = (1, 8)
+        requests_per_client = {1: 8, 8: 2}
+        n_rows, chunk_size = 500, 256
+        memory_rows = 20_000
+    else:
+        levels = (1, 8, 32)
+        requests_per_client = {1: 40, 8: 10, 32: 4}
+        n_rows, chunk_size = 2000, 512
+        memory_rows = 200_000
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        print("training benchmark artifact...")
+        build_artifact(root)
+        server, service, thread = start_server(root, workers=args.workers)
+        print(f"server up on port {server.port} ({args.workers} workers)")
+        try:
+            load = []
+            for concurrency in levels:
+                result = run_load(
+                    server.port, concurrency, requests_per_client[concurrency],
+                    n_rows, chunk_size,
+                )
+                load.append(result)
+                print(f"  c={concurrency:<3} {result['requests_per_sec']:>7} req/s  "
+                      f"p50={result['p50_latency_ms']}ms  p99={result['p99_latency_ms']}ms  "
+                      f"failures={result['failures']}")
+            stream_memory = measure_stream_memory(server.port, memory_rows, chunk_size)
+            oneshot_memory = measure_oneshot_memory(service, memory_rows)
+            print(f"  memory: http stream of {memory_rows} rows peaks at "
+                  f"{stream_memory['peak_memory_mb']} MB vs one-shot "
+                  f"{oneshot_memory['peak_memory_mb']} MB")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    failures = sum(result["failures"] for result in load)
+    gates = {
+        "all_requests_ok": failures == 0 and stream_memory["ok"],
+        "stream_memory_below_half_oneshot": (
+            stream_memory["peak_memory_mb"] < oneshot_memory["peak_memory_mb"] / 2
+        ),
+    }
+    if args.smoke:
+        worst_p99 = max(result["p99_latency_ms"] for result in load)
+        gates["p99_within_budget"] = worst_p99 <= args.p99_budget * 1000
+
+    payload = {
+        "benchmark": "serving_http",
+        "smoke": args.smoke,
+        "workers": args.workers,
+        "load": load,
+        "memory": {"http_stream": stream_memory, "oneshot": oneshot_memory},
+        "gates": gates,
+    }
+    if not args.smoke:
+        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"results -> {RESULTS_PATH}")
+    else:
+        print(json.dumps(payload, indent=2))
+
+    for gate, passed in gates.items():
+        print(f"gate {gate}: {'ok' if passed else 'FAILED'}")
+    return 0 if all(gates.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -157,9 +157,13 @@ def main(argv=None) -> int:
         "speedup": round(speedup, 3),
         "min_speedup_required": args.min_speedup,
     }
-    args.output.parent.mkdir(exist_ok=True)
-    args.output.write_text(json.dumps(result, indent=2) + "\n")
-    print(json.dumps(result, indent=2))
+    if args.smoke:
+        # Never clobber the committed full-run record with smoke numbers.
+        print(json.dumps(result, indent=2))
+    else:
+        args.output.parent.mkdir(exist_ok=True)
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+        print(json.dumps(result, indent=2))
 
     if speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x < required {args.min_speedup}x", file=sys.stderr)

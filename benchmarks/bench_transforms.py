@@ -135,9 +135,13 @@ def main(argv=None) -> int:
         },
         "results": results,
     }
-    args.output.parent.mkdir(exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
+    if args.smoke:
+        # Never clobber the committed full-run record with smoke numbers.
+        print(json.dumps(report, indent=2))
+    else:
+        args.output.parent.mkdir(exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
 
     failures = verify_round_trip(schema, rows, decoded)
     for stage in ("transform", "inverse_transform"):

@@ -15,6 +15,7 @@ gradient checks in ``tests/nn/test_autograd.py``.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional
 
 import numpy as np
@@ -31,30 +32,36 @@ __all__ = [
 # Global modes
 # ---------------------------------------------------------------------------
 
-_GRAD_ENABLED = True
-_GRAD_SAMPLE_ENABLED = False
+# Per-thread, like torch's inference modes: the HTTP serving tier runs
+# concurrent model.sample() calls under no_grad() from many threads, and a
+# process-wide flag would let one request's exit re-enable (or keep disabled)
+# graph construction underneath another thread mid-forward.
+_MODES = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient graph construction is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient graph construction is enabled (in this thread)."""
+    return getattr(_MODES, "grad_enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction (inference mode).
+
+    The mode is thread-local: entering ``no_grad()`` in one thread never
+    affects a forward pass running concurrently in another.
+    """
+    previous = is_grad_enabled()
+    _MODES.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _MODES.grad_enabled = previous
 
 
 def is_grad_sample_enabled() -> bool:
-    """Return whether per-example gradients are being recorded."""
-    return _GRAD_SAMPLE_ENABLED
+    """Return whether per-example gradients are being recorded (in this thread)."""
+    return getattr(_MODES, "grad_sample_enabled", False)
 
 
 @contextlib.contextmanager
@@ -66,15 +73,15 @@ def grad_sample_mode():
     shape ``(batch, *param.shape)``.  The loss being differentiated must be a
     sum over independent per-example terms for the captured values to be the
     true per-example gradients (standard assumption of DP-SGD; the models in
-    this library never mix examples inside a batch).
+    this library never mix examples inside a batch).  Like :func:`no_grad`,
+    the mode is thread-local.
     """
-    global _GRAD_SAMPLE_ENABLED
-    previous = _GRAD_SAMPLE_ENABLED
-    _GRAD_SAMPLE_ENABLED = True
+    previous = is_grad_sample_enabled()
+    _MODES.grad_sample_enabled = True
     try:
         yield
     finally:
-        _GRAD_SAMPLE_ENABLED = previous
+        _MODES.grad_sample_enabled = previous
 
 
 # ---------------------------------------------------------------------------
@@ -119,7 +126,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._grad_sample: Optional[np.ndarray] = None
         self._gs_factors: Optional[list] = None
@@ -253,7 +260,7 @@ class Tensor:
 
     def _make(self, data, parents, backward) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._prev = tuple(parents)
             out._backward = backward
@@ -508,7 +515,7 @@ class Tensor:
                     t._accumulate(piece)
 
         out = Tensor(data)
-        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+        if is_grad_enabled() and any(t.requires_grad for t in tensors):
             out.requires_grad = True
             out._prev = tuple(tensors)
             out._backward = backward
@@ -538,11 +545,11 @@ class Tensor:
                 x._accumulate(grad @ weight.data.T)
             if weight.requires_grad:
                 weight._accumulate(x.data.T @ grad)
-                if _GRAD_SAMPLE_ENABLED:
+                if is_grad_sample_enabled():
                     weight._add_grad_sample_outer(x.data, grad)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(grad.sum(axis=0))
-                if _GRAD_SAMPLE_ENABLED:
+                if is_grad_sample_enabled():
                     bias._add_grad_sample_direct(grad)
 
         parents = (x, weight) if bias is None else (x, weight, bias)

@@ -1,0 +1,26 @@
+"""``repro.server`` — the HTTP synthesis tier.
+
+Puts :class:`repro.serving.SynthesisService` on the network: a stdlib-only
+threaded HTTP server (:mod:`repro.server.app`) with a typed wire protocol
+(:mod:`repro.server.protocol`) and a matching stdlib client
+(:mod:`repro.server.client`).  Launch it with ``python -m repro serve``.
+
+The conformance suite (``tests/server/``) pins the defining property: a
+seeded HTTP response decodes to arrays **bit-identical** to the in-process
+service's, in model space and original space alike — the network tier adds
+transport, never drift.
+"""
+
+from repro.server.app import DEFAULT_MAX_ROWS, ServerMetrics, SynthesisHTTPServer
+from repro.server.client import ServerError, ServingClient
+from repro.server.protocol import ProtocolError, SampleRequest
+
+__all__ = [
+    "DEFAULT_MAX_ROWS",
+    "ProtocolError",
+    "SampleRequest",
+    "ServerError",
+    "ServerMetrics",
+    "ServingClient",
+    "SynthesisHTTPServer",
+]

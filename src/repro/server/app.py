@@ -1,0 +1,627 @@
+"""The concurrent HTTP synthesis server.
+
+A stdlib-only (:mod:`http.server` + :mod:`socketserver`) network tier over
+:class:`repro.serving.SynthesisService`.  One thread per connection serves
+the cheap introspection routes; synthesis streams additionally pass through a
+bounded worker gate so a traffic spike degrades into fast 429s instead of an
+unbounded pile of in-flight model draws.
+
+Routes
+------
+- ``GET  /healthz``                         — liveness (no model touched)
+- ``GET  /metrics``                         — request counts, latency
+  histogram, worker occupancy, and the service's cache stats
+- ``GET  /v1/models``                       — refs this server can serve
+- ``GET  /v1/models/{ref}``                 — one artifact's manifest summary
+- ``POST /v1/models/{ref}/sample``          — stream synthetic rows
+- ``POST /v1/models/{ref}/sample_labeled``  — stream ``(row, label)`` records
+
+Streamed bodies use chunked ``Transfer-Encoding`` in NDJSON or CSV, decoded
+to **original-space** rows through the artifact's stored transformer by
+default (``"model_space": true`` opts out).  Every request is reproducible:
+a client ``seed`` pins the exact bytes; without one the server draws a
+private per-request seed, so concurrent unseeded requests never share an RNG
+stream.  Failures before the first byte surface as the JSON error envelope
+of :mod:`repro.server.protocol`; a failure mid-stream can only abort the
+connection (HTTP has no status left to change), which is why all request
+validation and artifact loading happen eagerly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import PurePath
+from urllib.parse import unquote, urlsplit
+
+import numpy as np
+
+from repro.serving.artifacts import ArtifactError
+from repro.serving.service import SynthesisService
+from repro.server.protocol import (
+    ProtocolError,
+    encode_chunk,
+    error_body,
+    header_line,
+    json_body,
+    parse_sample_request,
+)
+from repro.utils.logging import StructuredLogger
+
+__all__ = ["SynthesisHTTPServer", "ServerMetrics", "DEFAULT_MAX_ROWS"]
+
+DEFAULT_MAX_ROWS = 1_000_000
+
+#: Request bodies are small JSON objects; anything bigger is rejected before
+#: a byte of it is read.
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper edges (seconds) of the request-latency histogram.
+LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, float("inf"))
+
+
+class ServerMetrics:
+    """Lock-guarded request counters and a fixed-bucket latency histogram."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._rejected = 0
+        self._in_flight = 0
+        self._by_status: dict = {}
+        self._by_route: dict = {}
+        self._bucket_counts = [0] * len(LATENCY_BUCKETS)
+        self._latency_sum = 0.0
+        self._rows_streamed = 0
+
+    def start_request(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def finish_request(self, route: str, status: int, elapsed: float, rows: int = 0) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self._total += 1
+            if status == 429:
+                self._rejected += 1
+            self._by_status[str(status)] = self._by_status.get(str(status), 0) + 1
+            self._by_route[route] = self._by_route.get(route, 0) + 1
+            self._latency_sum += elapsed
+            self._rows_streamed += rows
+            for index, edge in enumerate(LATENCY_BUCKETS):
+                if elapsed <= edge:
+                    self._bucket_counts[index] += 1
+                    break
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = {
+                ("+Inf" if np.isinf(edge) else repr(edge)): count
+                for edge, count in zip(LATENCY_BUCKETS, self._bucket_counts)
+            }
+            return {
+                "requests": {
+                    "total": self._total,
+                    "in_flight": self._in_flight,
+                    "rejected": self._rejected,
+                    "by_status": dict(sorted(self._by_status.items())),
+                    "by_route": dict(sorted(self._by_route.items())),
+                },
+                "latency_seconds": {
+                    "buckets": buckets,
+                    "sum": round(self._latency_sum, 6),
+                    "count": self._total,
+                },
+                "rows_streamed": self._rows_streamed,
+            }
+
+
+class SynthesisHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server over one shared :class:`SynthesisService`.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)``; port 0 binds an ephemeral port (tests).
+    service:
+        The shared synthesis service.  Its documented concurrency contract is
+        what makes one instance safe under this server's thread-per-connection
+        model.
+    workers:
+        Maximum *synthesis streams* in flight at once.  The gate is
+        non-blocking: request number ``workers + 1`` receives a 429 with
+        ``Retry-After`` instead of queueing, so saturation never manifests as
+        a hang and per-request memory stays bounded by
+        ``workers * chunk_size`` rows.  Introspection routes bypass the gate
+        and stay responsive while every worker streams.
+    max_rows:
+        Per-request row budget; larger requests are refused with 413.
+    max_connections:
+        Hard cap on simultaneously open connections (each costs one handler
+        thread, held for up to the socket timeout).  Connections beyond the
+        cap are closed at accept time — no thread is spawned for them — so
+        idle or slow-header clients cannot grow the thread count without
+        bound.
+    access_log:
+        A :class:`StructuredLogger`; defaults to JSON lines on stderr.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address,
+        service: SynthesisService,
+        workers: int = 8,
+        max_rows: int = DEFAULT_MAX_ROWS,
+        max_connections: int = 128,
+        access_log: StructuredLogger = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1; got {workers!r}")
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1; got {max_rows!r}")
+        if max_connections < workers:
+            raise ValueError(
+                f"max_connections ({max_connections!r}) must be >= workers ({workers!r})"
+            )
+        super().__init__(tuple(address), _SynthesisRequestHandler)
+        self.service = service
+        self.workers = int(workers)
+        self.max_rows = int(max_rows)
+        self.max_connections = int(max_connections)
+        self.metrics = ServerMetrics()
+        self.access_log = access_log if access_log is not None else StructuredLogger()
+        self._connections = threading.BoundedSemaphore(self.max_connections)
+        self._slots = threading.BoundedSemaphore(self.workers)
+        self._slots_lock = threading.Lock()
+        self._slots_in_use = 0
+        self._seed_lock = threading.Lock()
+        self._seed_sequence = np.random.SeedSequence()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    # -- connection cap (one handler thread per open connection) ---------------------
+
+    def process_request(self, request, client_address):
+        if not self._connections.acquire(blocking=False):
+            # Over the cap: refuse at accept time, before any thread exists.
+            self.access_log.log("http_overload", client=str(client_address))
+            self.shutdown_request(request)
+            return
+        try:
+            super().process_request(request, client_address)
+        except Exception:
+            self._connections.release()
+            raise
+
+    def process_request_thread(self, request, client_address):
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            self._connections.release()
+
+    def acquire_slot(self) -> bool:
+        """Try to claim a synthesis worker slot without blocking."""
+        acquired = self._slots.acquire(blocking=False)
+        if acquired:
+            with self._slots_lock:
+                self._slots_in_use += 1
+        return acquired
+
+    def release_slot(self) -> None:
+        with self._slots_lock:
+            self._slots_in_use -= 1
+        self._slots.release()
+
+    @property
+    def slots_in_use(self) -> int:
+        """Synthesis streams currently holding a worker slot (the 429 signal)."""
+        with self._slots_lock:
+            return self._slots_in_use
+
+    def next_request_seed(self) -> int:
+        """A fresh server-side seed for an unseeded request.
+
+        Spawned from one :class:`numpy.random.SeedSequence` under a lock, so
+        concurrent unseeded requests get independent streams — the model's
+        internal generator (shared mutable state) is never used by the HTTP
+        tier.
+        """
+        with self._seed_lock:
+            child = self._seed_sequence.spawn(1)[0]
+        return int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+class _SynthesisRequestHandler(BaseHTTPRequestHandler):
+    """Routes one connection's requests; all state lives on ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    #: Socket timeout for an accepted request's body and response I/O.  A
+    #: client that stalls without disconnecting — TCP half-open, a consumer
+    #: that stops reading forever — would otherwise block its handler thread
+    #: (and, mid-stream, its worker slot) indefinitely; after this many
+    #: seconds the blocked I/O raises TimeoutError, which is treated like a
+    #: disconnect and frees the slot.
+    timeout = 600
+    #: Much shorter timeout while *receiving a request* — request line,
+    #: headers, and the (small JSON) body — i.e. on idle keep-alive
+    #: connections and slowloris-style clients.  These hold a connection
+    #: permit but no worker slot; reaping them quickly keeps permits
+    #: available so /healthz stays reachable even when an attacker opens
+    #: max_connections idle or drip-feeding sockets.  The long ``timeout``
+    #: takes over only once a request has fully arrived.
+    header_timeout = 10.0
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def handle_one_request(self) -> None:
+        # Two-tier timeout: the request line + headers must arrive within
+        # header_timeout (stdlib catches the TimeoutError and closes the
+        # connection); once a request is dispatched, _handle restores the
+        # long I/O timeout for body reads and streamed writes.
+        self.connection.settimeout(self.header_timeout)
+        super().handle_one_request()
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        # BaseHTTPRequestHandler's default writes human text to stderr; route
+        # the rare internal messages through the structured log instead.
+        self.server.access_log.log("http_server", message=format % args)
+
+    def log_request(self, code="-", size="-"):
+        # Suppressed: _handle emits one structured access-log record per
+        # request with route, status, latency, and row count.
+        pass
+
+    def send_error(self, code, message=None, explain=None):
+        # Stdlib fallback paths that never reach _handle — unknown verbs
+        # (501), an oversized request line (414), an unsupported HTTP
+        # version (505) — must still emit the JSON envelope, not
+        # http.server's HTML error page.
+        label = {
+            404: "not_found",
+            405: "method_not_allowed",
+            501: "method_not_allowed",
+        }.get(code, "invalid_request" if 400 <= code < 500 else "internal")
+        short = self.responses.get(code, ("error",))[0]
+        try:
+            self._send_body(
+                code,
+                error_body(label, message or short),
+                "application/json",
+                {"Connection": "close"},
+            )
+        except OSError:
+            pass
+        self.close_connection = True
+
+    def _client(self) -> str:
+        return f"{self.client_address[0]}:{self.client_address[1]}"
+
+    def _send_body(self, status: int, body: bytes, content_type: str, extra=None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(status, json_body(payload), "application/json")
+
+    def _send_protocol_error(self, error: ProtocolError, close: bool = False) -> None:
+        extra = {}
+        if error.code == "saturated":
+            extra["Retry-After"] = "1"
+        if close:
+            # An unread request body would desync this keep-alive connection:
+            # the next request would be parsed starting at the leftover bytes.
+            extra["Connection"] = "close"
+            self.close_connection = True
+        self._send_body(
+            error.status, error_body(error.code, error.message), "application/json", extra
+        )
+
+    # -- routing --------------------------------------------------------------------
+
+    def _parse_route(self, method: str):
+        """Return ``(route_name, ref, action)`` or raise :class:`ProtocolError`."""
+        segments = [unquote(part) for part in urlsplit(self.path).path.split("/") if part]
+        if segments == ["healthz"]:
+            route = ("healthz", None, None)
+        elif segments == ["metrics"]:
+            route = ("metrics", None, None)
+        elif segments == ["v1", "models"]:
+            route = ("models", None, None)
+        elif len(segments) >= 3 and segments[:2] == ["v1", "models"]:
+            # The action suffix only exists on POST; for GET the whole tail
+            # is the ref, so an artifact literally named "sample" is still
+            # describable.
+            action = None
+            if method == "POST" and segments[-1] in ("sample", "sample_labeled"):
+                action = segments[-1]
+            ref = "/".join(segments[2:-1] if action else segments[2:])
+            # Refs must stay relative paths under --root: '..' segments,
+            # backslashes, and absolute paths (reachable via percent-encoded
+            # slashes, e.g. %2Fetc%2F...) would escape it.
+            pieces = ref.replace("\\", "/").split("/")
+            if not ref or ".." in pieces or "" in pieces or "\\" in ref:
+                raise ProtocolError("invalid_request", f"invalid model ref {ref!r}")
+            route = ("model" if action is None else action, ref, action)
+        else:
+            raise ProtocolError("not_found", f"no route for {self.path!r}")
+        expected = "POST" if route[0] in ("sample", "sample_labeled") else "GET"
+        if method != expected:
+            raise ProtocolError(
+                "method_not_allowed", f"{route[0]} only accepts {expected}, not {method}"
+            )
+        return route
+
+    def _handle(self, method: str) -> None:
+        started = time.perf_counter()
+        self.server.metrics.start_request()
+        route_name, status, rows = "unknown", 500, 0
+        pending_error = None
+        self._streaming = False
+        self._rows_sent = 0
+        # A request that declared a body we never read leaves its bytes in
+        # the keep-alive stream; such error responses must close the
+        # connection.  Only _read_body (the POST path) ever consumes one.
+        try:
+            declared_body = int(self.headers.get("Content-Length") or 0) != 0
+        except ValueError:
+            declared_body = True
+        if self.headers.get("Transfer-Encoding"):
+            declared_body = True  # chunked bodies are never read either
+        self._body_read = not declared_body
+        try:
+            route_name, ref, action = self._parse_route(method)
+            if route_name == "healthz":
+                status = self._do_healthz()
+            elif route_name == "metrics":
+                status = self._do_metrics()
+            elif route_name == "models":
+                status = self._do_models()
+            elif route_name == "model":
+                status = self._do_model(ref)
+            else:
+                status, rows = self._do_sample(ref, labeled=action == "sample_labeled")
+        except ProtocolError as error:
+            # Deferred: the envelope goes out *after* the metrics update below,
+            # so a client that sees a 429 and immediately reads /metrics is
+            # guaranteed to find it counted.
+            status = error.status
+            pending_error = error
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client went away or stalled past the socket timeout
+            # (possibly mid-stream): nothing to send, just free the thread.
+            status = 499
+            self.close_connection = True
+        except Exception as error:  # pragma: no cover - defensive backstop
+            # Never leak a traceback onto the wire; the envelope carries the
+            # class name only and the log carries the details.
+            status = 500
+            self.server.access_log.log(
+                "http_error", path=self.path, error=f"{type(error).__name__}: {error}"
+            )
+            if self._streaming:
+                # Headers (and possibly chunks) are already out: the only
+                # honest signal left is an aborted connection.
+                self.close_connection = True
+            else:
+                try:
+                    self._send_body(
+                        500,
+                        error_body("internal", f"internal error ({type(error).__name__})"),
+                        "application/json",
+                        {"Connection": "close"},
+                    )
+                except OSError:
+                    pass
+                # 500 means unknown request state; never reuse the connection.
+                self.close_connection = True
+        finally:
+            elapsed = time.perf_counter() - started
+            # An aborted stream (client gone, mid-stream failure) still moved
+            # rows; count what actually went out, not just completed requests.
+            rows = max(rows, self._rows_sent)
+            self.server.metrics.finish_request(route_name, status, elapsed, rows)
+            self.server.access_log.log(
+                "http_request",
+                method=method,
+                path=self.path,
+                route=route_name,
+                status=status,
+                duration_ms=round(elapsed * 1000, 3),
+                rows=rows,
+                client=self._client(),
+            )
+            if pending_error is not None:
+                # Non-GET/POST verbs also close: a HEAD client, for one,
+                # will not read the envelope body off the stream.
+                close = not self._body_read or method not in ("GET", "POST")
+                try:
+                    self._send_protocol_error(pending_error, close=close)
+                except OSError:
+                    self.close_connection = True
+            if not self._body_read:
+                # Any response — success included (e.g. a GET that arrived
+                # with a body) — sent while declared body bytes sit unread in
+                # rfile would desync the next keep-alive request.
+                self.close_connection = True
+
+    def _dispatch(self) -> None:
+        self._handle(self.command)
+
+    # Known verbs route through _handle (GET/POST do real work; the rest get
+    # the 405 envelope from _parse_route's method check, with metrics and
+    # access logging).  Verbs with no do_* attribute at all — TRACE,
+    # PROPFIND, ... — fall to stdlib send_error, overridden above to keep
+    # the JSON envelope.
+    do_GET = do_POST = do_HEAD = do_PUT = do_DELETE = do_PATCH = do_OPTIONS = _dispatch
+
+    # -- introspection routes ---------------------------------------------------------
+
+    def _do_healthz(self) -> int:
+        self._send_json(200, {"status": "ok"})
+        return 200
+
+    def _do_metrics(self) -> int:
+        payload = self.server.metrics.snapshot()
+        payload["workers"] = {
+            "capacity": self.server.workers,
+            "in_use": self.server.slots_in_use,
+        }
+        payload["max_rows"] = self.server.max_rows
+        cache = self.server.service.cache_stats
+        # The service keys its cache by resolved path; on the wire only
+        # root-relative refs are shown (absolute server paths are the
+        # operator's business, not the client's).
+        root = self.server.service.artifact_root
+        cache["cached"] = [self._as_ref(key, root) for key in cache["cached"]]
+        payload["cache"] = cache
+        self._send_json(200, payload)
+        return 200
+
+    @staticmethod
+    def _as_ref(cache_key: str, root) -> str:
+        path = PurePath(cache_key)
+        if root is not None:
+            try:
+                return str(path.relative_to(root))
+            except ValueError:
+                pass
+        return path.name
+
+    def _do_models(self) -> int:
+        service = self.server.service
+        self._send_json(200, {"models": service.available()})
+        return 200
+
+    def _do_model(self, ref: str) -> int:
+        service = self.server.service
+        try:
+            service.resolve(ref)
+        except ArtifactError as error:
+            message = str(error)
+            if ref.rsplit("/", 1)[-1] in ("sample", "sample_labeled"):
+                message += " (hint: the sampling endpoints are POST requests)"
+            raise ProtocolError("not_found", message)
+        try:
+            description = service.describe(ref)
+        except ArtifactError as error:
+            # The ref exists but its artifact is unreadable — the same 409
+            # the sample routes report, so "not_found" keeps meaning
+            # "no such ref".
+            raise ProtocolError("artifact_error", str(error))
+        self._send_json(200, description)
+        return 200
+
+    # -- synthesis routes -------------------------------------------------------------
+
+    def _read_body(self) -> bytes:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ProtocolError(
+                "invalid_request", "Content-Length is required (chunked request "
+                "bodies are not accepted)"
+            )
+        try:
+            length = int(length)
+        except ValueError:
+            raise ProtocolError("invalid_request", f"invalid Content-Length {length!r}")
+        if length < 0:
+            # rfile.read(-1) would block until EOF, wedging this handler
+            # thread for as long as the client cares to hold the socket open.
+            raise ProtocolError("invalid_request", f"invalid Content-Length {length!r}")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                "invalid_request",
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit",
+            )
+        # The body is still read under header_timeout — request bodies are
+        # small JSON, and a slow-body client must be reaped as fast as a
+        # slow-header one or it pins a connection permit.  Only once the
+        # request is fully in does the long streaming I/O budget apply.
+        body = self.rfile.read(length)
+        self._body_read = True
+        self.connection.settimeout(self.timeout)
+        return body
+
+    def _open_stream(self, ref: str, request, labeled: bool):
+        """Resolve the artifact and build the chunk iterator, all eagerly.
+
+        Returns ``(iterator, names)`` where ``names`` are the CSV header
+        fields.  Raises :class:`ProtocolError` for every failure, so by the
+        time headers go out the stream can only fail on a dead socket or a
+        genuine bug — never on a bad request.
+        """
+        service = self.server.service
+        try:
+            service.resolve(ref)
+        except ArtifactError as error:
+            raise ProtocolError("not_found", str(error))
+        try:
+            transformer = service.transformer(ref)
+            original = transformer is not None and not request.model_space
+            seed = request.seed
+            if seed is None:
+                seed = self.server.next_request_seed()
+            stream = (service.stream_labeled if labeled else service.stream)(
+                ref,
+                request.n_samples,
+                seed=seed,
+                chunk_size=request.chunk_size,
+                original_space=original,
+            )
+        except ArtifactError as error:
+            raise ProtocolError("artifact_error", str(error))
+        except ValueError as error:
+            raise ProtocolError("invalid_request", str(error))
+        if original:
+            names = list(transformer.schema.names)
+        else:
+            model = service.get(ref)
+            width = getattr(model, "n_feature_columns", None) if labeled else None
+            if width is None:
+                width = int(model.n_input_features_)
+            names = [f"feature_{index}" for index in range(width)]
+        if labeled:
+            names = names + ["label"]
+        return stream, names
+
+    def _do_sample(self, ref: str, labeled: bool):
+        request = parse_sample_request(self._read_body(), self.server.max_rows)
+        if not self.server.acquire_slot():
+            raise ProtocolError(
+                "saturated",
+                f"all {self.server.workers} synthesis workers are busy; retry",
+            )
+        try:
+            stream, names = self._open_stream(ref, request, labeled)
+            self.send_response(200)
+            self.send_header("Content-Type", request.content_type)
+            self.send_header("Transfer-Encoding", "chunked")
+            self.send_header("X-Repro-Rows", str(request.n_samples))
+            self.end_headers()
+            self._streaming = True
+            if request.format == "csv" and request.header:
+                self._write_chunk(header_line("csv", names))
+            for chunk in stream:
+                features, labels = chunk if labeled else (chunk, None)
+                self._write_chunk(encode_chunk(request.format, features, labels))
+                self._rows_sent += len(features)
+            self.wfile.write(b"0\r\n\r\n")
+        finally:
+            self.server.release_slot()
+        return 200, self._rows_sent
+
+    def _write_chunk(self, data: bytes) -> None:
+        if data:
+            self.wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")

@@ -1,0 +1,142 @@
+"""A tiny stdlib client for the HTTP synthesis API.
+
+Used by the test suites and the load benchmark; also a reference for how the
+wire protocol is meant to be consumed.  Built on :mod:`urllib` /
+:mod:`http.client` only — ``http.client`` transparently decodes the server's
+chunked transfer encoding, so streamed bodies arrive as plain bytes.
+
+:class:`ServingClient` raises :class:`ServerError` (carrying the decoded
+error envelope) on non-2xx responses; the ``request`` method returns the raw
+``(status, headers, body)`` triple without raising, which is what the
+error-path table tests assert against.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+__all__ = ["ServerError", "ServingClient"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response, decoded from the JSON error envelope."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServingClient:
+    """Talk to one :class:`repro.server.SynthesisHTTPServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 30.0):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------------
+
+    def request(self, method: str, path: str, body: Optional[bytes] = None):
+        """One HTTP exchange; returns ``(status, headers, body)``, never raises
+        on HTTP error statuses (transport failures still raise
+        :class:`urllib.error.URLError`)."""
+        req = Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        try:
+            with urlopen(req, timeout=self.timeout) as response:
+                return response.status, dict(response.headers), response.read()
+        except HTTPError as error:
+            with error:
+                return error.code, dict(error.headers), error.read()
+
+    @staticmethod
+    def _raise_for_status(status: int, data: bytes) -> None:
+        if status < 400:
+            return
+        try:
+            payload = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            payload = {}
+        envelope = payload.get("error", {}) if isinstance(payload, dict) else {}
+        raise ServerError(
+            status, envelope.get("code", "unknown"), envelope.get("message", "")
+        )
+
+    def _json(self, method: str, path: str, body: Optional[bytes] = None):
+        status, _, data = self.request(method, path, body)
+        self._raise_for_status(status, data)
+        return json.loads(data) if data else {}
+
+    # -- introspection --------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def models(self) -> list:
+        return self._json("GET", "/v1/models")["models"]
+
+    def model(self, ref: str) -> dict:
+        return self._json("GET", f"/v1/models/{ref}")
+
+    def wait_until_ready(self, attempts: int = 50, delay: float = 0.1) -> None:
+        """Poll ``/healthz`` until the server answers (used right after spawn)."""
+        import time
+
+        for attempt in range(attempts):
+            try:
+                self.healthz()
+                return
+            except (URLError, ConnectionError, OSError):
+                time.sleep(delay)
+        raise TimeoutError(f"server at {self.base_url} did not become healthy")
+
+    # -- synthesis ------------------------------------------------------------------
+
+    def _sample_body(self, n_samples, seed, chunk_size, fmt, model_space, header) -> bytes:
+        payload = {"n_samples": n_samples, "format": fmt}
+        if seed is not None:
+            payload["seed"] = seed
+        if chunk_size is not None:
+            payload["chunk_size"] = chunk_size
+        if model_space:
+            payload["model_space"] = True
+        if not header:
+            payload["header"] = False
+        return json.dumps(payload).encode("utf-8")
+
+    def sample_raw(
+        self,
+        ref: str,
+        n_samples: int,
+        seed: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        fmt: str = "ndjson",
+        model_space: bool = False,
+        labeled: bool = False,
+        header: bool = True,
+    ) -> bytes:
+        """The exact bytes of a streamed response (raises on error statuses)."""
+        action = "sample_labeled" if labeled else "sample"
+        body = self._sample_body(n_samples, seed, chunk_size, fmt, model_space, header)
+        status, _, data = self.request("POST", f"/v1/models/{ref}/{action}", body)
+        self._raise_for_status(status, data)
+        return data
+
+    def sample(self, ref: str, n_samples: int, **kwargs) -> list:
+        """Streamed NDJSON rows, parsed: a list of per-row value lists."""
+        kwargs.setdefault("fmt", "ndjson")
+        if kwargs["fmt"] != "ndjson":
+            raise ValueError("sample() parses NDJSON; use sample_raw() for CSV")
+        data = self.sample_raw(ref, n_samples, **kwargs)
+        return [json.loads(line) for line in data.decode("utf-8").splitlines() if line]

@@ -19,6 +19,10 @@ Subcommands
   the miniaturized ``smoke``/``mixed_smoke`` presets) through the parallel,
   resumable experiment runner; writes the JSONL trial records plus a
   ``BENCH_experiments.json`` summary and prints the aggregated table.
+- ``serve``    — put a directory of artifacts on the network: the concurrent
+  HTTP synthesis API of :mod:`repro.server` (``/healthz``, ``/metrics``,
+  ``/v1/models``, streamed ``POST .../sample``), with a bounded worker pool
+  and structured JSON access logs on stderr.
 
 Examples::
 
@@ -33,6 +37,7 @@ Examples::
     python -m repro bench --spec fig6_composition
     python -m repro bench --preset smoke --workers 4 --seeds 0 1 2 \
         --cache-dir .bench-cache --store smoke.jsonl
+    python -m repro serve --root artifacts --port 8000 --workers 8
 """
 
 from __future__ import annotations
@@ -138,6 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL record output (default: <output stem>.jsonl)")
     bench.add_argument("--output", type=Path, default=Path("BENCH_experiments.json"),
                        help="summary JSON output")
+
+    serve = subparsers.add_parser("serve", help="serve synthesis requests over HTTP")
+    serve.add_argument("--root", required=True, type=Path,
+                       help="directory whose artifact subdirectories become model refs")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000, help="0 picks an ephemeral port")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="max concurrent synthesis streams (excess gets 429)")
+    # default None -> repro.server.app.DEFAULT_MAX_ROWS, resolved in
+    # _cmd_serve so the other subcommands never import the HTTP tier.
+    serve.add_argument("--max-rows", type=int, default=None,
+                       help="per-request row limit, default 1_000_000 "
+                            "(excess gets 413)")
+    serve.add_argument("--max-connections", type=int, default=128,
+                       help="open-connection cap (excess closed at accept time)")
+    serve.add_argument("--cache-size", type=int, default=4, help="LRU model cache size")
+    serve.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                       help="default rows per streamed chunk (the memory bound)")
     return parser
 
 
@@ -487,6 +510,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import DEFAULT_MAX_ROWS, SynthesisHTTPServer
+
+    if not args.root.is_dir():
+        raise ValueError(f"--root {args.root} is not a directory")
+    max_rows = DEFAULT_MAX_ROWS if args.max_rows is None else args.max_rows
+    service = SynthesisService(
+        artifact_root=args.root, cache_size=args.cache_size, chunk_size=args.chunk_size
+    )
+    try:
+        server = SynthesisHTTPServer(
+            (args.host, args.port), service, workers=args.workers,
+            max_rows=max_rows, max_connections=args.max_connections,
+        )
+    except OSError as error:
+        # EADDRINUSE / EACCES and friends: the CLI's error envelope, not a
+        # traceback.
+        raise ValueError(
+            f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
+        ) from error
+    refs = service.available()
+    print(f"serving {len(refs)} artifact(s) from {args.root} "
+          f"on http://{args.host}:{server.port} "
+          f"({args.workers} workers, max {max_rows} rows/request)")
+    for ref in refs:
+        print(f"  /v1/models/{ref}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+# ----------------------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
@@ -497,6 +560,7 @@ def main(argv=None) -> int:
         "evaluate": _cmd_evaluate,
         "inspect": _cmd_inspect,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)

@@ -13,6 +13,7 @@ service has served before.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator, Optional
@@ -23,6 +24,7 @@ from repro.serving.artifacts import (
     ArtifactError,
     load_artifact,
     load_transformer,
+    manifest_privacy,
     read_manifest,
 )
 from repro.utils.rng import as_generator
@@ -46,6 +48,20 @@ class SynthesisService:
         models are evicted first).
     chunk_size:
         Default number of rows per streamed chunk (the memory bound).
+
+    **Concurrency contract.**  One service instance may be shared across
+    threads (the HTTP tier in :mod:`repro.server` does exactly that): the
+    registry, the LRU model cache, the transformer cache, and the hit/miss
+    counters are guarded by a single reentrant lock, so concurrent ``get``
+    calls on a cold artifact load it exactly once (a cache miss holds the
+    lock through ``load_artifact``, serialising cold loads; hits only touch
+    the lock briefly).  *Seeded* streams are then safe to draw concurrently —
+    each request owns its own :class:`numpy.random.Generator` and the models'
+    ``sample(n, rng=...)`` path only reads fitted state.  Unseeded streams
+    (``seed=None``) fall back to the model's internal generator, which is
+    shared mutable state: callers that need concurrency without seeds must
+    supply distinct seeds themselves (the HTTP tier draws a server-side seed
+    per request for this reason).
     """
 
     def __init__(self, artifact_root=None, cache_size: int = 4, chunk_size: int = DEFAULT_CHUNK_SIZE):
@@ -54,6 +70,7 @@ class SynthesisService:
         self.artifact_root = None if artifact_root is None else Path(artifact_root)
         self.cache_size = int(cache_size)
         self.chunk_size = int(chunk_size)
+        self._lock = threading.RLock()
         self._registry: dict = {}
         self._cache: OrderedDict = OrderedDict()
         self._transformers: dict = {}
@@ -64,17 +81,25 @@ class SynthesisService:
 
     def register(self, name: str, path) -> None:
         """Register a short name for an artifact path."""
-        self._registry[name] = Path(path)
+        with self._lock:
+            self._registry[name] = Path(path)
 
     def resolve(self, ref) -> Path:
-        """Resolve a registered name or path to an artifact directory."""
-        if isinstance(ref, str) and ref in self._registry:
-            return self._registry[ref]
+        """Resolve a registered name or path to an artifact directory.
+
+        With an ``artifact_root`` configured, relative refs resolve strictly
+        under it — never against the process's working directory, which
+        would let a network-originated ref reach (or probe for) directories
+        outside the root.  Absolute paths and registered names are the
+        caller's explicit choice and resolve as given.
+        """
+        with self._lock:
+            registered = self._registry.get(ref) if isinstance(ref, str) else None
+        if registered is not None:
+            return registered
         path = Path(ref)
         if not path.is_absolute() and self.artifact_root is not None:
-            candidate = self.artifact_root / path
-            if candidate.exists() or not path.exists():
-                path = candidate
+            path = self.artifact_root / path
         if not path.exists():
             raise ArtifactError(f"no artifact found for {ref!r} (resolved to {path})")
         return path
@@ -82,17 +107,18 @@ class SynthesisService:
     def get(self, ref):
         """Return the loaded model for ``ref``, loading through the LRU cache."""
         key = str(self.resolve(ref))
-        if key in self._cache:
-            self._hits += 1
-            self._cache.move_to_end(key)
-            return self._cache[key]
-        self._misses += 1
-        model = load_artifact(key)
-        self._cache[key] = model
-        while len(self._cache) > self.cache_size:
-            evicted, _ = self._cache.popitem(last=False)
-            self._transformers.pop(evicted, None)
-        return model
+        with self._lock:
+            if key in self._cache:
+                self._hits += 1
+                self._cache.move_to_end(key)
+                return self._cache[key]
+            self._misses += 1
+            model = load_artifact(key)
+            self._cache[key] = model
+            while len(self._cache) > self.cache_size:
+                evicted, _ = self._cache.popitem(last=False)
+                self._transformers.pop(evicted, None)
+            return model
 
     def transformer(self, ref):
         """The artifact's fitted preprocessing pipeline (``None`` if absent).
@@ -101,9 +127,10 @@ class SynthesisService:
         re-read ``transformer.npz``.
         """
         key = str(self.resolve(ref))
-        if key not in self._transformers:
-            self._transformers[key] = load_transformer(key)
-        return self._transformers[key]
+        with self._lock:
+            if key not in self._transformers:
+                self._transformers[key] = load_transformer(key)
+            return self._transformers[key]
 
     def manifest(self, ref) -> dict:
         """The artifact's manifest (no weights are loaded)."""
@@ -111,23 +138,67 @@ class SynthesisService:
 
     def evict(self, ref=None) -> None:
         """Drop one model (or all of them) from the cache."""
-        if ref is None:
-            self._cache.clear()
-            self._transformers.clear()
-            return
-        key = str(self.resolve(ref))
-        self._cache.pop(key, None)
-        self._transformers.pop(key, None)
+        with self._lock:
+            if ref is None:
+                self._cache.clear()
+                self._transformers.clear()
+                return
+            key = str(self.resolve(ref))
+            self._cache.pop(key, None)
+            self._transformers.pop(key, None)
 
     @property
     def cache_stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._cache),
+                "capacity": self.cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "cached": list(self._cache),
+            }
+
+    # -- introspection --------------------------------------------------------------
+
+    def describe(self, ref) -> dict:
+        """A JSON-safe summary of one artifact, from its manifest alone.
+
+        No weights are loaded.  The ``privacy`` entry is kept in the
+        manifest's JSON-safe encoding (non-finite epsilon as a string), and
+        ``cached`` reports whether the model currently sits in the LRU cache.
+        """
+        path = self.resolve(ref)
+        manifest = read_manifest(path)
+        manifest_privacy(manifest)  # validate the recorded (epsilon, delta)
+        schema = manifest.get("schema") or {}
+        with self._lock:
+            cached = str(path) in self._cache
         return {
-            "size": len(self._cache),
-            "capacity": self.cache_size,
-            "hits": self._hits,
-            "misses": self._misses,
-            "cached": list(self._cache),
+            "ref": str(ref),
+            "name": manifest.get("name"),
+            "model_class": manifest["model_class"],
+            "format_version": manifest["format_version"],
+            "created_at": manifest.get("created_at"),
+            "privacy": manifest["privacy"],
+            "schema": schema,
+            "labeled": schema.get("classes") is not None,
+            "original_space": manifest.get("transformer") is not None,
+            "hyperparameters": manifest["hyperparameters"],
+            "metadata": manifest.get("metadata", {}),
+            "cached": cached,
         }
+
+    def available(self) -> list:
+        """Sorted refs this service can serve: registered names plus every
+        artifact directory (one containing ``manifest.json``) directly under
+        ``artifact_root``."""
+        with self._lock:
+            refs = set(self._registry)
+        if self.artifact_root is not None and self.artifact_root.is_dir():
+            for child in self.artifact_root.iterdir():
+                if (child / "manifest.json").is_file():
+                    refs.add(child.name)
+        return sorted(refs)
 
     # -- synthesis ------------------------------------------------------------------
 

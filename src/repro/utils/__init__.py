@@ -1,5 +1,6 @@
 """Shared utilities: random-number handling, validation helpers, logging."""
 
+from repro.utils.logging import StructuredLogger
 from repro.utils.rng import as_generator, check_random_state
 from repro.utils.validation import (
     check_array,
@@ -9,6 +10,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "StructuredLogger",
     "as_generator",
     "check_random_state",
     "check_array",

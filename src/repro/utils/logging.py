@@ -1,16 +1,56 @@
-"""Lightweight experiment logging.
+"""Lightweight experiment and serving logging.
 
 The training loops record per-epoch diagnostics (losses, privacy spent,
 downstream scores) into a :class:`TrainingHistory` so that the learning-curve
 experiments (Figure 7 in the paper) can be regenerated without re-running
 training inside plotting code.
+
+The HTTP serving tier (:mod:`repro.server`) emits machine-parseable access
+logs through :class:`StructuredLogger` — one JSON object per line, safe to
+write from many handler threads at once.
 """
 
 from __future__ import annotations
 
+import json
+import sys
+import threading
+import time
 from dataclasses import dataclass, field
 
-__all__ = ["TrainingHistory"]
+__all__ = ["StructuredLogger", "TrainingHistory"]
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines event logger.
+
+    Each call to :meth:`log` writes exactly one line — a JSON object holding
+    ``ts`` (unix seconds), ``event``, and the caller's fields — so access logs
+    can be tailed, grepped, and loaded with ``json.loads`` per line.  Values
+    that are not JSON-serialisable are stringified rather than raised on: a
+    log line must never take down the request that emitted it.
+    """
+
+    def __init__(self, stream=None):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self):
+        # Resolved lazily so a logger constructed at import time follows
+        # later reassignments of sys.stderr (pytest's capture, CLI tests).
+        return sys.stderr if self._stream is None else self._stream
+
+    def log(self, event: str, **fields) -> None:
+        """Emit one structured record."""
+        record = {"ts": round(time.time(), 3), "event": str(event), **fields}
+        line = json.dumps(record, default=str)
+        with self._lock:
+            stream = self.stream
+            stream.write(line + "\n")
+            flush = getattr(stream, "flush", None)
+            if flush is not None:
+                flush()
 
 
 @dataclass

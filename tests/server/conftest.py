@@ -1,0 +1,47 @@
+"""Shared fixtures for the HTTP tier tests: session-scoped artifact roots.
+
+Model fitting dominates the suite's cost, so the artifact directories are
+built once per session; servers are started per module (see ``server_kit``)
+on an ephemeral port with a silenced structured access log.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import save_artifact
+from repro.serving.registry import registered_synthesizers
+from server_kit import tiny_model
+
+
+@pytest.fixture(scope="session")
+def numeric_artifact_root(tmp_path_factory):
+    """A cheap root: one labelled VAE and one unlabelled VAE on numeric data."""
+    rng = np.random.default_rng(3)
+    n, d = 150, 8
+    centers = np.vstack([np.full(d, 0.3), np.full(d, 0.7)])
+    y = rng.integers(0, 2, n)
+    X = np.clip(centers[y] + 0.1 * rng.normal(size=(n, d)), 0.0, 1.0)
+    root = tmp_path_factory.mktemp("http-numeric-artifacts")
+    save_artifact(tiny_model("vae").fit(X, y), root / "vae")
+    save_artifact(tiny_model("vae").fit(X), root / "vae-unlabeled")
+    return root
+
+
+@pytest.fixture(scope="session")
+def mixed_artifact_root(tmp_path_factory):
+    """Every registered synthesizer fitted on the encoded mixed-type table.
+
+    Each artifact carries the fitted transformer, so the HTTP tier's default
+    original-space decoding is exercised for the whole registry.
+    """
+    from repro.datasets import load_dataset
+    from repro.transforms import TableTransformer
+
+    dataset = load_dataset("adult_mixed", n_samples=260, random_state=0)
+    transformer = TableTransformer(dataset.schema).fit(dataset.X_train)
+    X = transformer.transform(dataset.X_train)
+    root = tmp_path_factory.mktemp("http-mixed-artifacts")
+    for name in registered_synthesizers():
+        model = tiny_model(name).fit(X, dataset.y_train)
+        save_artifact(model, root / name, name=name, transformer=transformer)
+    return root

@@ -1,0 +1,242 @@
+"""Concurrency & isolation properties of the HTTP tier.
+
+Three guarantees, each load-bearing for "serve heavy traffic":
+
+- per-request RNG isolation — N parallel seeded requests return byte-for-byte
+  what the same N requests return serially;
+- liveness — a slow streaming consumer never blocks ``/healthz``;
+- backpressure — saturating the worker cap yields fast 429s, not a hang.
+"""
+
+import http.client
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from server_kit import serve_root
+
+
+@pytest.fixture(scope="module")
+def http_server(numeric_artifact_root):
+    with serve_root(numeric_artifact_root, workers=16) as running:
+        yield running
+
+
+REQUESTS = [
+    # (seed, n, chunk_size) — duplicate seeds on purpose: two in-flight
+    # requests with the same seed must not share (or perturb) a generator.
+    (0, 40, 8),
+    (1, 40, 8),
+    (2, 25, 16),
+    (3, 25, 16),
+    (0, 40, 8),
+    (4, 64, 5),
+    (5, 64, 5),
+    (6, 30, 30),
+    (7, 30, 30),
+    (1, 40, 8),
+    (8, 50, 12),
+    (9, 50, 12),
+    (10, 33, 9),
+    (11, 33, 9),
+    (2, 25, 16),
+    (12, 40, 10),
+]
+
+
+class TestIsolation:
+    def test_16_parallel_requests_match_16_serial_ones(self, http_server):
+        _, client, _ = http_server
+        serial = [
+            client.sample_raw("vae", n, seed=seed, chunk_size=chunk)
+            for seed, n, chunk in REQUESTS
+        ]
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            parallel = list(
+                pool.map(
+                    lambda req: client.sample_raw("vae", req[1], seed=req[0], chunk_size=req[2]),
+                    REQUESTS,
+                )
+            )
+        assert parallel == serial
+
+    def test_parallel_labeled_requests_match_serial(self, http_server):
+        _, client, _ = http_server
+        jobs = [(seed, 24, 7) for seed in range(8)]
+        serial = [
+            client.sample_raw("vae", n, seed=seed, chunk_size=chunk, labeled=True)
+            for seed, n, chunk in jobs
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            parallel = list(
+                pool.map(
+                    lambda req: client.sample_raw(
+                        "vae", req[1], seed=req[0], chunk_size=req[2], labeled=True
+                    ),
+                    jobs,
+                )
+            )
+        assert parallel == serial
+
+    def test_unseeded_parallel_requests_are_all_distinct(self, http_server):
+        # Without a client seed the server draws one per request; concurrent
+        # unseeded requests must neither fail nor repeat each other.
+        _, client, _ = http_server
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            bodies = list(
+                pool.map(lambda _: client.sample_raw("vae", 20, chunk_size=10), range(8))
+            )
+        assert len(set(bodies)) == len(bodies)
+
+
+def _start_slow_stream(port, n_samples=200_000, chunk_size=2048):
+    """Begin a large streamed request and read only the headers.
+
+    The unread body backs up in the socket buffers, so the handler thread
+    blocks mid-stream while holding its worker slot — a deliberately slow
+    consumer.  Returns the live connection (close it to free the worker).
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    body = json.dumps({"n_samples": n_samples, "chunk_size": chunk_size})
+    conn.request("POST", "/v1/models/vae/sample", body=body,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()  # status line + headers: the slot is held
+    assert response.status == 200
+    return conn
+
+
+class TestLiveness:
+    def test_slow_streaming_client_does_not_block_healthz(self, numeric_artifact_root):
+        with serve_root(numeric_artifact_root, workers=1) as (server, client, _):
+            conn = _start_slow_stream(server.port)
+            try:
+                started = time.perf_counter()
+                assert client.healthz() == {"status": "ok"}
+                assert client.metrics()["requests"]["in_flight"] >= 1
+                assert time.perf_counter() - started < 5.0
+            finally:
+                conn.close()
+
+
+class TestBackpressure:
+    def test_saturating_the_worker_cap_yields_429_not_a_hang(self, numeric_artifact_root):
+        with serve_root(numeric_artifact_root, workers=1) as (server, client, _):
+            conn = _start_slow_stream(server.port)
+            try:
+                started = time.perf_counter()
+                status, headers, body = client.request(
+                    "POST", "/v1/models/vae/sample", json.dumps({"n_samples": 5}).encode()
+                )
+                elapsed = time.perf_counter() - started
+                assert status == 429
+                assert elapsed < 5.0  # refused, not queued behind the stream
+                envelope = json.loads(body)["error"]
+                assert envelope["code"] == "saturated"
+                assert headers.get("Retry-After") == "1"
+            finally:
+                conn.close()
+            # The slot frees once the slow consumer disconnects; the same
+            # request then succeeds.
+            for _ in range(50):
+                status, _, _ = client.request(
+                    "POST", "/v1/models/vae/sample", json.dumps({"n_samples": 5}).encode()
+                )
+                if status == 200:
+                    break
+                time.sleep(0.1)
+            assert status == 200
+
+    def test_idle_connections_are_reaped_by_the_header_timeout(
+        self, numeric_artifact_root, monkeypatch
+    ):
+        # An idle socket holds a connection permit but no worker slot; the
+        # short header timeout must reap it so permits recycle quickly.
+        import socket
+
+        from repro.server.app import _SynthesisRequestHandler
+
+        monkeypatch.setattr(_SynthesisRequestHandler, "header_timeout", 0.3)
+        with serve_root(numeric_artifact_root, workers=2) as (server, client, _):
+            idle = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+            idle.settimeout(5)
+            started = time.perf_counter()
+            assert idle.recv(1024) == b""  # server hung up on the idle socket
+            assert time.perf_counter() - started < 4.0
+            idle.close()
+            assert client.healthz() == {"status": "ok"}
+
+    def test_slow_body_clients_are_reaped_by_the_header_timeout(
+        self, numeric_artifact_root, monkeypatch
+    ):
+        # Complete headers + a stalled body must be reaped as fast as slow
+        # headers: the long streaming timeout only starts once the request
+        # has fully arrived.
+        import socket
+
+        from repro.server.app import _SynthesisRequestHandler
+
+        monkeypatch.setattr(_SynthesisRequestHandler, "header_timeout", 0.3)
+        with serve_root(numeric_artifact_root, workers=2) as (server, client, _):
+            sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+            sock.sendall(
+                b"POST /v1/models/vae/sample HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: 20\r\n\r\n"
+            )  # ...and never send the 20 body bytes
+            sock.settimeout(5)
+            started = time.perf_counter()
+            assert sock.recv(1024) == b""  # reaped, no worker slot consumed
+            assert time.perf_counter() - started < 4.0
+            sock.close()
+            assert client.healthz() == {"status": "ok"}
+
+    def test_connection_cap_closes_excess_connections_at_accept(
+        self, numeric_artifact_root
+    ):
+        # Thread-per-connection must not be unbounded: connection number
+        # max_connections+1 is closed before any handler thread exists, so
+        # idle/slowloris clients cannot grow the thread count forever.
+        import socket
+
+        with serve_root(numeric_artifact_root, workers=2, max_connections=2) as (
+            server, client, _,
+        ):
+            held = []
+            try:
+                for _ in range(2):
+                    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+                    conn.request("GET", "/healthz")
+                    assert conn.getresponse().read()  # connection established + alive
+                    held.append(conn)
+                excess = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+                excess.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                assert excess.recv(1024) == b""  # closed at accept, no response
+                excess.close()
+            finally:
+                for conn in held:
+                    conn.close()
+            # Slots free once the handler threads notice the disconnects;
+            # a fresh connection is then served again.
+            for _ in range(50):
+                try:
+                    assert client.healthz() == {"status": "ok"}
+                    break
+                except (ConnectionError, http.client.HTTPException, OSError):
+                    time.sleep(0.05)
+            else:
+                pytest.fail("server did not recover after connections closed")
+
+    def test_rejections_are_counted_in_metrics(self, numeric_artifact_root):
+        with serve_root(numeric_artifact_root, workers=1) as (server, client, _):
+            conn = _start_slow_stream(server.port)
+            try:
+                client.request(
+                    "POST", "/v1/models/vae/sample", json.dumps({"n_samples": 5}).encode()
+                )
+                metrics = client.metrics()
+                assert metrics["requests"]["rejected"] >= 1
+                assert metrics["requests"]["by_status"].get("429", 0) >= 1
+                assert metrics["workers"] == {"capacity": 1, "in_use": 1}
+            finally:
+                conn.close()

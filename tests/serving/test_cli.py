@@ -136,6 +136,35 @@ class TestEvaluate:
         assert "auroc" in out
 
 
+class TestServe:
+    def test_missing_root_exits_nonzero(self, tmp_path, capsys):
+        code = main(["serve", "--root", str(tmp_path / "nowhere"), "--port", "0"])
+        assert code == 2
+        assert "is not a directory" in capsys.readouterr().err
+
+    def test_busy_port_is_an_error_message_not_a_traceback(self, tmp_path, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", "--root", str(tmp_path), "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 2
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_parser_defaults_match_the_documented_contract(self):
+        from repro.serving.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--root", "artifacts"])
+        assert (args.host, args.port) == ("127.0.0.1", 8000)
+        assert args.workers == 8
+        assert args.max_rows is None  # resolved to DEFAULT_MAX_ROWS lazily
+        assert args.max_connections == 128
+
+
 class TestBench:
     def test_list_prints_registered_specs(self, capsys):
         assert main(["bench", "--list"]) == 0

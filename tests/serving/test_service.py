@@ -1,4 +1,7 @@
-"""SynthesisService tests: LRU cache, bounded streaming, per-request seeds."""
+"""SynthesisService tests: LRU cache, bounded streaming, per-request seeds,
+and the documented concurrency contract."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -28,6 +31,19 @@ class TestResolutionAndCache:
         service = SynthesisService(artifact_root=artifact_root)
         with pytest.raises(ArtifactError, match="no artifact found"):
             service.get("nope")
+
+    def test_relative_refs_never_fall_back_to_the_working_directory(
+        self, artifact_root, tmp_path, monkeypatch
+    ):
+        # With a root configured, a relative ref that is missing under it
+        # must not resolve against the process cwd — that would let
+        # network-originated refs probe/serve directories outside the root.
+        other = tmp_path / "cwd"
+        (other / "escapee").mkdir(parents=True)
+        monkeypatch.chdir(other)
+        service = SynthesisService(artifact_root=artifact_root)
+        with pytest.raises(ArtifactError, match="no artifact found"):
+            service.resolve("escapee")
 
     def test_cache_hits_return_the_same_object(self, artifact_root):
         service = SynthesisService(artifact_root=artifact_root, cache_size=2)
@@ -107,3 +123,114 @@ class TestStreaming:
         assert service.manifest("vae")["model_class"] == "VAE"
         eps, delta = service.privacy("vae")
         assert np.isinf(eps) and delta == 0.0
+
+
+class TestDescribe:
+    def test_describe_summarises_the_manifest_without_loading_weights(self, artifact_root):
+        service = SynthesisService(artifact_root=artifact_root)
+        description = service.describe("vae")
+        assert description["model_class"] == "VAE"
+        assert description["labeled"] is True
+        assert description["original_space"] is False  # no transformer saved
+        assert description["cached"] is False  # describe never loads the model
+        service.get("vae")
+        assert service.describe("vae")["cached"] is True
+
+    def test_available_merges_registered_names_and_root_directories(self, artifact_root):
+        service = SynthesisService(artifact_root=artifact_root)
+        service.register("prod", artifact_root / "pgm")
+        assert service.available() == ["pgm", "privbayes", "prod", "vae"]
+
+
+class TestConcurrencyContract:
+    def _count_loads(self, monkeypatch, delay: float = 0.01):
+        """Patch the service module's load_artifact with a slowed, counting stub."""
+        import time
+
+        import repro.serving.service as service_module
+
+        calls = []
+        real = service_module.load_artifact
+
+        def counting(path):
+            calls.append(path)
+            time.sleep(delay)  # widen the would-be double-load window
+            return real(path)
+
+        monkeypatch.setattr(service_module, "load_artifact", counting)
+        return calls
+
+    def test_hammering_one_ref_on_a_size_1_cache_loads_once(
+        self, artifact_root, monkeypatch
+    ):
+        calls = self._count_loads(monkeypatch)
+        service = SynthesisService(artifact_root=artifact_root, cache_size=1)
+        n_threads, gets_per_thread = 8, 5
+        barrier = threading.Barrier(n_threads)
+        seen = []
+
+        def worker():
+            barrier.wait()
+            for _ in range(gets_per_thread):
+                seen.append(service.get("vae"))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(calls) == 1  # no double-loads despite the race window
+        assert len({id(model) for model in seen}) == 1
+        stats = service.cache_stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == n_threads * gets_per_thread - 1
+        assert stats["size"] == 1
+
+    def test_eviction_churn_keeps_stats_consistent(self, artifact_root, monkeypatch):
+        # Two refs fighting over a cache of one: every get is a miss-or-hit,
+        # every miss is exactly one load, and the cache never exceeds its cap.
+        calls = self._count_loads(monkeypatch, delay=0.001)
+        service = SynthesisService(artifact_root=artifact_root, cache_size=1)
+        n_threads, gets_per_thread = 6, 8
+        barrier = threading.Barrier(n_threads)
+
+        def worker(index):
+            ref = ("vae", "pgm")[index % 2]
+            barrier.wait()
+            for _ in range(gets_per_thread):
+                service.get(ref)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = service.cache_stats
+        assert stats["hits"] + stats["misses"] == n_threads * gets_per_thread
+        assert stats["misses"] == len(calls)
+        assert stats["size"] == 1
+
+    def test_concurrent_seeded_streams_match_serial_draws(self, artifact_root):
+        service = SynthesisService(artifact_root=artifact_root)
+        jobs = [(seed, 30, 8) for seed in (0, 1, 2, 0, 1, 2, 3, 3)]
+        serial = [
+            service.sample("vae", n, seed=seed, chunk_size=chunk)
+            for seed, n, chunk in jobs
+        ]
+        results = [None] * len(jobs)
+        barrier = threading.Barrier(len(jobs))
+
+        def worker(index):
+            seed, n, chunk = jobs[index]
+            barrier.wait()
+            results[index] = service.sample("vae", n, seed=seed, chunk_size=chunk)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(jobs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for got, want in zip(results, serial):
+            assert np.array_equal(got, want)
