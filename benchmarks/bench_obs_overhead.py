@@ -1,0 +1,195 @@
+"""Observability overhead gate: instrumented vs. disabled must stay within 5%.
+
+The promise of ``repro.obs`` is that it is safe to leave on in production.
+This benchmark prices that promise on the two hottest instrumented paths:
+
+- **serving** — HTTP request throughput (seeded NDJSON streams against an
+  in-process :class:`SynthesisHTTPServer`), with the registry live versus a
+  ``MetricsRegistry(enabled=False)`` whose instruments are no-ops — exactly
+  what ``REPRO_OBS_DISABLED=1`` installs process-wide;
+- **training** — full ``model.fit`` steps per second with the internally
+  constructed :class:`repro.engine.MetricsCallback` writing to a live
+  registry versus a disabled one.
+
+Each variant is timed ``--rounds`` times, interleaved (enabled, disabled,
+enabled, ...) so drift in machine load hits both sides equally, and the
+best round of each side is compared: scheduler noise only ever slows a
+round down, so best-of-N is the stable estimator of the true cost.
+
+Exits non-zero if either overhead exceeds ``--tolerance`` percent (default
+5), which is how CI keeps instrumentation honest.  Full runs also write
+``benchmarks/results/BENCH_obs_overhead.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py          # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # sibling benchmark helpers
+
+from bench_serving_http import build_artifact, run_load  # noqa: E402
+
+from repro.datasets import load_dataset
+from repro.models import VAE
+from repro.obs import MetricsRegistry, set_registry
+from repro.server import SynthesisHTTPServer
+from repro.serving import SynthesisService
+from repro.utils.logging import StructuredLogger
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_obs_overhead.json"
+
+
+# ----------------------------------------------------------------------------------
+# serving path
+# ----------------------------------------------------------------------------------
+
+
+def _start_server(root: Path, workers: int, registry: MetricsRegistry):
+    service = SynthesisService(artifact_root=root, registry=registry)
+    server = SynthesisHTTPServer(
+        ("127.0.0.1", 0), service, workers=workers, registry=registry,
+        access_log=StructuredLogger(io.StringIO()),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def measure_serving(root: Path, enabled: bool, requests: int, n_rows: int,
+                    chunk_size: int) -> float:
+    """Requests per second of one serial client against a fresh server."""
+    server, thread = _start_server(root, workers=4,
+                                   registry=MetricsRegistry(enabled=enabled))
+    try:
+        # One untimed request warms the model cache out of the measurement.
+        run_load(server.port, 1, 1, n_rows, chunk_size)
+        result = run_load(server.port, 1, requests, n_rows, chunk_size)
+        if result["failures"]:
+            raise RuntimeError(f"{result['failures']} request(s) failed")
+        return result["requests_per_sec"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------------------
+# training path
+# ----------------------------------------------------------------------------------
+
+
+def measure_training(enabled: bool, epochs: int, n_samples: int) -> float:
+    """Steps per second of a full ``VAE.fit`` (MetricsCallback built inside)."""
+    batch_size = 100
+    data = load_dataset("credit", n_samples=n_samples, random_state=0)
+    model = VAE(latent_dim=5, hidden=(32,), epochs=epochs, batch_size=batch_size,
+                random_state=0)
+    previous = set_registry(MetricsRegistry(enabled=enabled))
+    try:
+        started = time.perf_counter()
+        model.fit(data.X_train, data.y_train)
+        elapsed = time.perf_counter() - started
+    finally:
+        set_registry(previous)
+    steps = epochs * (len(data.X_train) // batch_size)
+    return steps / elapsed
+
+
+# ----------------------------------------------------------------------------------
+
+
+def best_of(measure, rounds: int) -> dict:
+    """Interleaved best-of-``rounds`` for the enabled and disabled variants."""
+    enabled_runs, disabled_runs = [], []
+    for _ in range(rounds):
+        enabled_runs.append(measure(True))
+        disabled_runs.append(measure(False))
+    enabled_best, disabled_best = max(enabled_runs), max(disabled_runs)
+    overhead_pct = (disabled_best - enabled_best) / disabled_best * 100.0
+    return {
+        "enabled_best": round(enabled_best, 2),
+        "disabled_best": round(disabled_best, 2),
+        "enabled_runs": [round(run, 2) for run in enabled_runs],
+        "disabled_runs": [round(run, 2) for run in disabled_runs],
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes + hard gates (CI)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="interleaved rounds per variant (default 3 smoke, 5 full)")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="max allowed overhead of instrumentation, percent")
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds if args.rounds is not None else (3 if args.smoke else 5)
+    if args.smoke:
+        requests, n_rows, chunk_size = 10, 400, 200
+        epochs, n_samples = 2, 1000
+    else:
+        requests, n_rows, chunk_size = 40, 1000, 256
+        epochs, n_samples = 4, 2000
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        print("training benchmark artifact...")
+        build_artifact(root)
+        print(f"serving: {rounds}x{requests} requests of {n_rows} rows per variant...")
+        serving = best_of(
+            lambda enabled: measure_serving(root, enabled, requests, n_rows, chunk_size),
+            rounds,
+        )
+        print(f"  enabled {serving['enabled_best']} req/s  "
+              f"disabled {serving['disabled_best']} req/s  "
+              f"overhead {serving['overhead_pct']}%")
+
+    print(f"training: {rounds} VAE fits of {epochs} epochs per variant...")
+    training = best_of(
+        lambda enabled: measure_training(enabled, epochs, n_samples), rounds
+    )
+    print(f"  enabled {training['enabled_best']} steps/s  "
+          f"disabled {training['disabled_best']} steps/s  "
+          f"overhead {training['overhead_pct']}%")
+
+    gates = {
+        "serving_overhead_within_tolerance": serving["overhead_pct"] <= args.tolerance,
+        "training_overhead_within_tolerance": training["overhead_pct"] <= args.tolerance,
+    }
+    payload = {
+        "benchmark": "obs_overhead",
+        "smoke": args.smoke,
+        "rounds": rounds,
+        "tolerance_pct": args.tolerance,
+        "serving_requests_per_sec": serving,
+        "training_steps_per_sec": training,
+        "gates": gates,
+    }
+    if args.smoke:
+        print(json.dumps(payload, indent=2))
+    else:
+        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"results -> {RESULTS_PATH}")
+
+    for gate, passed in gates.items():
+        print(f"gate {gate}: {'ok' if passed else 'FAILED'}")
+    return 0 if all(gates.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,12 @@ aggregation, optimizer stepping, and callback dispatch.  The pieces:
   non-private training).  :class:`PoissonSampler` includes each record in each
   step independently with probability ``sample_rate`` (the default for DP-SGD
   training).
-- :mod:`repro.engine.callbacks` — a small hook API (``on_step_end`` /
-  ``on_epoch_end``) with built-ins for history logging, privacy-budget
-  tracking, and ELBO-plateau early stopping.
+- :mod:`repro.engine.callbacks` — a small hook API (``on_train_begin`` /
+  ``on_step_end`` / ``on_epoch_end`` / ``on_train_end``) with built-ins for
+  history logging, privacy-budget tracking, ELBO-plateau early stopping, and
+  :class:`MetricsCallback`, which publishes throughput, step/epoch timing,
+  gradient-clipping diagnostics, and the privacy-budget gauge onto the
+  :mod:`repro.obs` metrics registry.
 - :mod:`repro.engine.trainer` — the :class:`Trainer` itself, with a private
   mode that runs the backward pass inside
   :func:`repro.nn.grad_sample_mode` and drives
@@ -35,6 +38,7 @@ from repro.engine.callbacks import (
     EarlyStopping,
     EpochHook,
     HistoryLogger,
+    MetricsCallback,
     PrivacyBudgetTracker,
 )
 from repro.engine.samplers import BatchSampler, PoissonSampler, ShuffleSampler, make_sampler
@@ -50,5 +54,6 @@ __all__ = [
     "PrivacyBudgetTracker",
     "EarlyStopping",
     "EpochHook",
+    "MetricsCallback",
     "Trainer",
 ]

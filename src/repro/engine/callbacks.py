@@ -10,6 +10,8 @@ writes the record into ``model.history``.
 
 from __future__ import annotations
 
+import math
+import time
 from typing import Optional
 
 from repro.utils.validation import check_positive
@@ -20,17 +22,24 @@ __all__ = [
     "PrivacyBudgetTracker",
     "EarlyStopping",
     "EpochHook",
+    "MetricsCallback",
 ]
 
 
 class Callback:
     """Base class: override any subset of the hooks."""
 
+    def on_train_begin(self, trainer, model) -> None:
+        """Called once before the first epoch."""
+
     def on_step_end(self, trainer, model, step: int, logs: dict) -> None:
         """Called after every optimizer step with that step's batch losses."""
 
     def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
         """Called after every epoch with the epoch-mean losses."""
+
+    def on_train_end(self, trainer, model) -> None:
+        """Called once after the final epoch (also after an early stop)."""
 
 
 class HistoryLogger(Callback):
@@ -100,6 +109,126 @@ class EarlyStopping(Callback):
         if self.wait >= self.patience:
             self.stopped_epoch = epoch
             trainer.stop_training = True
+
+
+class MetricsCallback(Callback):
+    """Publish training progress onto the :mod:`repro.obs` metrics registry.
+
+    One callback instance instruments one training run; every family is
+    labeled with ``model=<class name>`` so concurrent or sequential runs of
+    different models stay distinguishable in a single registry.  Published
+    families:
+
+    - ``repro_train_steps_total{model}`` — optimizer steps taken;
+    - ``repro_train_step_seconds{model}`` / ``repro_train_epoch_seconds{model}``
+      — per-step and per-epoch wall-time histograms;
+    - ``repro_train_steps_per_second{model}`` — running throughput gauge
+      (steps over wall time since ``on_train_begin``);
+    - ``repro_train_grad_norm{model}`` / ``repro_train_clip_fraction{model}``
+      — last step's mean per-example gradient norm and clipped fraction, when
+      the optimizer records them (:class:`repro.privacy.DPSGD` does);
+    - ``repro_privacy_epsilon_spent{model}`` — the privacy budget gauge.  Per
+      epoch it tracks the accountant's spend for the steps executed so far
+      (``optimizer.privacy_spent(delta)``); at ``on_train_end`` it is set to
+      the model's own ``privacy_spent()`` epsilon, so the final gauge value
+      equals the released guarantee *exactly*.
+
+    The callback only enriches the registry — it never mutates ``logs`` — so
+    its position in the callback list does not matter.
+    """
+
+    def __init__(self, registry=None, delta: Optional[float] = None):
+        # Imported here (not at module top) to keep repro.engine importable
+        # without repro.obs in pathological partial checkouts; the cost is one
+        # dict lookup per construction.
+        from repro.obs import get_registry
+
+        self.registry = registry if registry is not None else get_registry()
+        self.delta = delta
+        self._train_started: Optional[float] = None
+        self._epoch_started: Optional[float] = None
+        self._step_started: Optional[float] = None
+        self._label: str = ""
+        second_buckets = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+        self._steps = self.registry.counter(
+            "repro_train_steps_total", "Optimizer steps taken, by model class",
+            labels=("model",),
+        )
+        self._step_seconds = self.registry.histogram(
+            "repro_train_step_seconds", "Wall time of one optimizer step",
+            labels=("model",), buckets=second_buckets,
+        )
+        self._epoch_seconds = self.registry.histogram(
+            "repro_train_epoch_seconds", "Wall time of one training epoch",
+            labels=("model",), buckets=second_buckets,
+        )
+        self._throughput = self.registry.gauge(
+            "repro_train_steps_per_second",
+            "Running training throughput (steps over wall time since train begin)",
+            labels=("model",),
+        )
+        self._grad_norm = self.registry.gauge(
+            "repro_train_grad_norm",
+            "Mean per-example gradient L2 norm of the last private step",
+            labels=("model",),
+        )
+        self._clip_fraction = self.registry.gauge(
+            "repro_train_clip_fraction",
+            "Fraction of examples clipped in the last private step",
+            labels=("model",),
+        )
+        self._epsilon = self.registry.gauge(
+            "repro_privacy_epsilon_spent",
+            "Privacy budget: per-epoch accountant spend, final released epsilon",
+            labels=("model",),
+        )
+
+    def on_train_begin(self, trainer, model) -> None:
+        self._label = type(model).__name__
+        self._train_started = time.perf_counter()
+        self._epoch_started = self._train_started
+        self._step_started = self._train_started
+
+    def on_step_end(self, trainer, model, step: int, logs: dict) -> None:
+        now = time.perf_counter()
+        if self._step_started is not None:
+            self._step_seconds.observe(now - self._step_started, model=self._label)
+        self._step_started = now
+        self._steps.inc(model=self._label)
+        if self._train_started is not None and now > self._train_started:
+            self._throughput.set(
+                step / (now - self._train_started), model=self._label
+            )
+        grad_norm = getattr(trainer.optimizer, "last_grad_norm", None)
+        if grad_norm is not None:
+            self._grad_norm.set(grad_norm, model=self._label)
+        clip_fraction = getattr(trainer.optimizer, "last_clip_fraction", None)
+        if clip_fraction is not None:
+            self._clip_fraction.set(clip_fraction, model=self._label)
+
+    def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
+        now = time.perf_counter()
+        if self._epoch_started is not None:
+            self._epoch_seconds.observe(now - self._epoch_started, model=self._label)
+        self._epoch_started = now
+        self._step_started = now
+        epsilon = logs.get("epsilon")
+        if epsilon is None and self.delta is not None:
+            spent = getattr(trainer.optimizer, "privacy_spent", None)
+            if callable(spent):
+                epsilon = spent(self.delta)
+        if epsilon is not None and math.isfinite(epsilon):
+            self._epsilon.set(epsilon, model=self._label)
+
+    def on_train_end(self, trainer, model) -> None:
+        # The per-epoch values above track the accountant; the *final* value
+        # is pinned to the model's released guarantee so a scrape after
+        # training reads exactly privacy_spent().
+        spent = getattr(model, "privacy_spent", None)
+        if callable(spent):
+            epsilon = spent()[0]
+            if epsilon is not None and math.isfinite(epsilon):
+                self._epsilon.set(epsilon, model=self._label)
 
 
 class EpochHook(Callback):

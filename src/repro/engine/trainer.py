@@ -82,6 +82,8 @@ class Trainer:
         n_samples = int(n_samples)
         self.stop_training = False
         step = 0
+        for callback in self.callbacks:
+            callback.on_train_begin(self, self.model)
         for epoch in range(epochs):
             epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
             for index in self.sampler.epoch_batches(n_samples, self.rng):
@@ -116,6 +118,8 @@ class Trainer:
                 callback.on_epoch_end(self, self.model, epoch, logs)
             if self.stop_training:
                 break
+        for callback in self.callbacks:
+            callback.on_train_end(self, self.model)
         return self
 
     def _train_step(self, index: np.ndarray, loss_fn) -> Tuple[float, float]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -28,6 +29,7 @@ from typing import Optional
 from repro.experiments.spec import ExperimentSpec, TrialSpec, expand_specs
 from repro.experiments.store import ResultStore, encode_record
 from repro.experiments.trials import execute_trial
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["Runner", "RunReport", "TrialCache", "EXPERIMENT_FORMAT_VERSION", "default_code_version"]
 
@@ -132,6 +134,17 @@ class Runner:
         trials = expand_specs(specs)
         keyed = [(trial, trial.key(self.code_version)) for trial in trials]
 
+        # Observability: counters / spans only — they never touch the record
+        # dicts, so the canonical store bytes stay identical with and without
+        # instrumentation (and between serial and pooled runs).  A trial's
+        # content-address key doubles as its trace correlation id.
+        tracer = get_tracer()
+        trial_counter = get_registry().counter(
+            "repro_experiments_trials_total",
+            "Trials resolved by the experiment runner, by outcome",
+            labels=("status",),
+        )
+
         report = RunReport()
         records: dict = {}
         pending = []
@@ -143,8 +156,15 @@ class Runner:
                 # experiment name; re-label it for this spec.
                 records[index] = {**cached, "key": key, "experiment": trial.experiment}
                 report.cached += 1
+                trial_counter.inc(status="cached")
+                with tracer.span(
+                    "experiment.trial", trace_id=key,
+                    experiment=trial.experiment, cached=True,
+                ):
+                    pass
             elif key in seen_keys:
                 report.cached += 1  # duplicate cell within this very run
+                trial_counter.inc(status="cached")
             else:
                 pending.append((index, trial, key))
             seen_keys.add(key)
@@ -158,6 +178,7 @@ class Runner:
             nonlocal done
             records[index] = record
             report.executed += 1
+            trial_counter.inc(status="executed")
             done += 1
             if self.cache is not None:
                 self.cache.put(key, record)
@@ -168,19 +189,41 @@ class Runner:
 
         if self.workers > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(_run_trial_payload, {"key": key, **trial.to_dict()}):
-                        (index, trial, key)
-                    for index, trial, key in pending
-                }
+                submitted = {}
+                futures = {}
+                for index, trial, key in pending:
+                    futures[pool.submit(
+                        _run_trial_payload, {"key": key, **trial.to_dict()}
+                    )] = (index, trial, key)
+                    submitted[key] = time.perf_counter()
                 # as_completed (not map) so every finished trial is persisted
                 # even if a slower earlier-submitted trial later fails.
                 for future in as_completed(futures):
                     index, trial, key = futures[future]
-                    complete(index, trial, key, future.result())
+                    # The trial ran in a worker process, so the span is
+                    # emitted on completion with its clock backdated to
+                    # submission: duration = queue wait + compute.
+                    span = tracer.span(
+                        "experiment.trial", trace_id=key,
+                        experiment=trial.experiment, cached=False, pooled=True,
+                    )
+                    span.__enter__()
+                    span.started = submitted[key]
+                    try:
+                        record = future.result()
+                    except BaseException:
+                        span.__exit__(*sys.exc_info())
+                        raise
+                    complete(index, trial, key, record)
+                    span.__exit__(None, None, None)
         else:
             for index, trial, key in pending:
-                complete(index, trial, key, _run_trial_payload({"key": key, **trial.to_dict()}))
+                with tracer.span(
+                    "experiment.trial", trace_id=key,
+                    experiment=trial.experiment, cached=False,
+                ):
+                    record = _run_trial_payload({"key": key, **trial.to_dict()})
+                complete(index, trial, key, record)
 
         # Duplicate cells (same content address appearing twice in one run)
         # resolve to the first computed record, re-labelled per trial.

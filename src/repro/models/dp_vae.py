@@ -11,7 +11,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine import EpochHook, HistoryLogger, PrivacyBudgetTracker, Trainer, make_sampler
+from repro.engine import (
+    EpochHook,
+    HistoryLogger,
+    MetricsCallback,
+    PrivacyBudgetTracker,
+    Trainer,
+    make_sampler,
+)
 from repro.models.vae import VAE
 from repro.nn import Adam
 from repro.privacy.accounting import calibrate_dp_sgd_sigma, dp_sgd_epsilon
@@ -106,7 +113,12 @@ class DPVAE(VAE):
             self,
             optimizer,
             make_sampler(self.sampler, n_samples, self.batch_size),
-            callbacks=[PrivacyBudgetTracker(optimizer, self.delta), HistoryLogger(), EpochHook()],
+            callbacks=[
+                PrivacyBudgetTracker(optimizer, self.delta),
+                MetricsCallback(delta=self.delta),
+                HistoryLogger(),
+                EpochHook(),
+            ],
             private=True,
             rng=self._rng,
         )

@@ -24,7 +24,14 @@ from typing import Optional
 import numpy as np
 
 from repro.decomposition import DPPCA
-from repro.engine import EpochHook, HistoryLogger, PrivacyBudgetTracker, Trainer, make_sampler
+from repro.engine import (
+    EpochHook,
+    HistoryLogger,
+    MetricsCallback,
+    PrivacyBudgetTracker,
+    Trainer,
+    make_sampler,
+)
 from repro.mixture import DPGaussianMixture
 from repro.models.pgm import PGM
 from repro.nn import Adam
@@ -225,6 +232,7 @@ class P3GM(PGM):
             make_sampler(self.sampler, n_samples, self.batch_size),
             callbacks=[
                 PrivacyBudgetTracker(optimizer, self.delta),
+                MetricsCallback(delta=self.delta),
                 HistoryLogger(),
                 EpochHook(),
             ],

@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.decomposition import PCA
-from repro.engine import EpochHook, HistoryLogger, Trainer, make_sampler
+from repro.engine import EpochHook, HistoryLogger, MetricsCallback, Trainer, make_sampler
 from repro.mixture import GaussianMixture
 from repro.mixture.kl import kl_gaussian_to_mog
 from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
@@ -254,7 +254,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
             self,
             optimizer,
             make_sampler(self.sampler, n_samples, self.batch_size),
-            callbacks=[HistoryLogger(), EpochHook()],
+            callbacks=[HistoryLogger(), MetricsCallback(), EpochHook()],
             rng=self._rng,
         )
 

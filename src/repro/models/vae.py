@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine import EpochHook, HistoryLogger, Trainer, make_sampler
+from repro.engine import EpochHook, HistoryLogger, MetricsCallback, Trainer, make_sampler
 from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
 from repro.nn import MLP, Adam, Tensor, no_grad
 from repro.nn import functional as F
@@ -158,7 +158,7 @@ class VAE(GenerativeModel, LabelEncodingMixin):
             self,
             optimizer,
             make_sampler(self.sampler, n_samples, self.batch_size),
-            callbacks=[HistoryLogger(), EpochHook()],
+            callbacks=[HistoryLogger(), MetricsCallback(), EpochHook()],
             rng=self._rng,
         )
 

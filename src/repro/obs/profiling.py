@@ -1,0 +1,144 @@
+"""Opt-in phase profiling: wall/CPU time and peak memory per named phase.
+
+Where metrics answer "how many / how fast on average" and traces answer
+"where did this request's time go", the profiler answers "what did this
+*phase* of work cost the process": wall seconds, CPU seconds (all threads),
+peak RSS (``resource.getrusage``), and — optionally, because it costs real
+overhead — the peak *traced* allocation via :mod:`tracemalloc`.
+
+Profiling is off unless explicitly requested: wrap a phase yourself, or set
+``REPRO_PROFILE=1`` and use :func:`maybe_profile`, which becomes a
+zero-overhead no-op otherwise.  Results land on the metrics registry as
+gauges (``repro_profile_wall_seconds{phase=...}`` etc.) and are returned as
+:class:`PhaseProfile` records for direct reporting.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+try:  # pragma: no cover - resource is POSIX-only (absent on Windows)
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+__all__ = ["PhaseProfile", "Profiler", "profile_phase", "maybe_profile", "profiling_enabled"]
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` requests per-phase profiling."""
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+def _peak_rss_mb() -> Optional[float]:
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes; normalise to MB.
+    scale = 1e6 if sys.platform == "darwin" else 1e3
+    return round(peak / scale, 3)
+
+
+@dataclass
+class PhaseProfile:
+    """What one profiled phase cost."""
+
+    phase: str
+    wall_s: float
+    cpu_s: float
+    peak_rss_mb: Optional[float] = None
+    traced_peak_mb: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {key: value for key, value in self.__dict__.items() if value is not None}
+
+
+@dataclass
+class Profiler:
+    """Collects :class:`PhaseProfile` records and mirrors them onto gauges.
+
+    One profiler instance is cheap; phases may nest (each phase measures its
+    own window independently).
+    """
+
+    registry: Optional[MetricsRegistry] = None
+    phases: List[PhaseProfile] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str, trace_allocations: bool = False):
+        """Measure the block as phase ``name``; yields the (filled-in-on-exit)
+        :class:`PhaseProfile`.  ``trace_allocations`` adds a tracemalloc peak
+        (noticeably slower; keep it for memory investigations)."""
+        registry = self.registry if self.registry is not None else get_registry()
+        started_tracing = False
+        if trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracing = True
+        if trace_allocations:
+            tracemalloc.reset_peak()
+        profile = PhaseProfile(phase=str(name), wall_s=0.0, cpu_s=0.0)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield profile
+        finally:
+            profile.wall_s = round(time.perf_counter() - wall0, 6)
+            profile.cpu_s = round(time.process_time() - cpu0, 6)
+            profile.peak_rss_mb = _peak_rss_mb()
+            if trace_allocations:
+                _, peak = tracemalloc.get_traced_memory()
+                profile.traced_peak_mb = round(peak / 1e6, 3)
+                if started_tracing:
+                    tracemalloc.stop()
+            self.phases.append(profile)
+            labels = {"phase": profile.phase}
+            registry.gauge(
+                "repro_profile_wall_seconds", "Wall time of the last run of each profiled phase",
+                labels=("phase",),
+            ).set(profile.wall_s, **labels)
+            registry.gauge(
+                "repro_profile_cpu_seconds", "CPU time of the last run of each profiled phase",
+                labels=("phase",),
+            ).set(profile.cpu_s, **labels)
+            if profile.peak_rss_mb is not None:
+                registry.gauge(
+                    "repro_profile_peak_rss_mb", "Peak RSS observed after each profiled phase",
+                    labels=("phase",),
+                ).set(profile.peak_rss_mb, **labels)
+            if profile.traced_peak_mb is not None:
+                registry.gauge(
+                    "repro_profile_traced_peak_mb",
+                    "tracemalloc peak during each profiled phase",
+                    labels=("phase",),
+                ).set(profile.traced_peak_mb, **labels)
+
+    def report(self) -> list:
+        """Every recorded phase, in execution order, as JSON-safe dicts."""
+        return [profile.as_dict() for profile in self.phases]
+
+
+@contextmanager
+def profile_phase(name: str, registry: Optional[MetricsRegistry] = None,
+                  trace_allocations: bool = False):
+    """One-shot form: ``with profile_phase("train.fit") as p: ...``."""
+    profiler = Profiler(registry=registry)
+    with profiler.phase(name, trace_allocations=trace_allocations) as profile:
+        yield profile
+
+
+@contextmanager
+def maybe_profile(name: str, registry: Optional[MetricsRegistry] = None):
+    """Profile the block only when ``REPRO_PROFILE`` is set; no-op otherwise."""
+    if profiling_enabled():
+        with profile_phase(name, registry=registry) as profile:
+            yield profile
+    else:
+        yield None

@@ -1,0 +1,196 @@
+"""Span tracing: parent/child timing trees emitted as JSON lines.
+
+A *span* is one timed operation (``model.sample``, ``http.request``,
+``experiments.trial``).  Spans nest: opening a span inside another makes it a
+child, and every span carries the *trace id* (correlation id) of the tree it
+belongs to, so the flat JSONL stream a :class:`~repro.utils.logging.StructuredLogger`
+writes can be reassembled into per-request / per-trial timing trees —
+``python -m repro obs --trace FILE`` does exactly that.
+
+Usage::
+
+    tracer = Tracer(StructuredLogger(open("trace.jsonl", "a")))
+    with tracer.span("http.request", route="sample") as request_span:
+        with tracer.span("model.sample", rows=512):
+            ...
+
+Each closed span emits one record::
+
+    {"ts": ..., "event": "span", "name": "model.sample",
+     "trace_id": "4f1c...", "span_id": "a01b...", "parent_id": "77e2...",
+     "duration_ms": 12.91, "status": "ok", "rows": 512}
+
+The ambient span stack is a :mod:`contextvars` context variable, so nesting
+is correct per thread (and per asyncio task) without any explicit plumbing;
+an explicit ``trace_id=`` on a root span pins the correlation id (the
+experiment runner uses the trial's content-address key).
+
+The module-level :func:`get_tracer` tracer is **disabled by default** — spans
+cost two clock reads and propagate ids, but write nothing — and is switched
+on by pointing ``REPRO_TRACE`` at a file path (or ``stderr``), or by calling
+:func:`configure_tracer`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import sys
+import threading
+import time
+import uuid
+from typing import Optional
+
+from repro.utils.logging import StructuredLogger
+
+__all__ = ["Span", "Tracer", "get_tracer", "configure_tracer", "current_span", "span"]
+
+_current_span: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation; create via :meth:`Tracer.span`, use as a context
+    manager.  Fields set through :meth:`annotate` land on the emitted record."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "fields",
+        "status",
+        "started",
+        "duration_ms",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: Optional[str], fields: dict):
+        parent = _current_span.get()
+        self.name = str(name)
+        self.span_id = _new_id()
+        if trace_id is not None:
+            self.trace_id = str(trace_id)
+        elif parent is not None:
+            self.trace_id = parent.trace_id
+        else:
+            self.trace_id = _new_id()
+        self.parent_id = None if parent is None else parent.span_id
+        self.fields = dict(fields)
+        self.status = "ok"
+        self.started: Optional[float] = None
+        self.duration_ms: Optional[float] = None
+        self._tracer = tracer
+        self._token = None
+
+    def annotate(self, **fields) -> "Span":
+        """Attach extra fields to the record this span will emit."""
+        self.fields.update(fields)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ms = (time.perf_counter() - self.started) * 1000.0
+        _current_span.reset(self._token)
+        if exc_type is not None:
+            self.status = "error"
+            self.fields.setdefault("error", exc_type.__name__)
+        self._tracer._emit(self)
+        return False
+
+
+class Tracer:
+    """Builds spans and writes their records through a structured logger.
+
+    Parameters
+    ----------
+    logger:
+        The :class:`StructuredLogger` receiving one ``event="span"`` record
+        per closed span.  ``None`` leaves the tracer disabled: spans still
+        nest and propagate correlation ids (so a later ``configure`` call
+        needs no re-plumbing), but nothing is written.
+    """
+
+    def __init__(self, logger: Optional[StructuredLogger] = None):
+        self._logger = logger
+
+    @property
+    def enabled(self) -> bool:
+        return self._logger is not None
+
+    def configure(self, logger: Optional[StructuredLogger]) -> None:
+        self._logger = logger
+
+    def span(self, name: str, trace_id: Optional[str] = None, **fields) -> Span:
+        """Open a (nestable) span; use as ``with tracer.span(...) as s:``."""
+        return Span(self, name, trace_id, fields)
+
+    def _emit(self, span: Span) -> None:
+        logger = self._logger
+        if logger is None:
+            return
+        # Core span keys win over annotations of the same name: a colliding
+        # annotate() must never crash the operation being traced.
+        record = dict(span.fields)
+        record.update(
+            name=span.name,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            duration_ms=round(span.duration_ms, 3),
+            status=span.status,
+        )
+        logger.log("span", **record)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread/task (``None`` outside spans)."""
+    return _current_span.get()
+
+
+# ----------------------------------------------------------------------------------
+# The process-wide default tracer
+# ----------------------------------------------------------------------------------
+
+_default_tracer: Optional[Tracer] = None
+_default_lock = threading.Lock()
+
+
+def _tracer_from_env() -> Tracer:
+    target = os.environ.get("REPRO_TRACE", "")
+    if not target:
+        return Tracer(None)
+    if target == "stderr":
+        return Tracer(StructuredLogger(sys.stderr))
+    return Tracer(StructuredLogger(open(target, "a")))
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (``REPRO_TRACE=path|stderr`` enables output)."""
+    global _default_tracer
+    with _default_lock:
+        if _default_tracer is None:
+            _default_tracer = _tracer_from_env()
+        return _default_tracer
+
+
+def configure_tracer(logger: Optional[StructuredLogger]) -> Tracer:
+    """Point the process-wide tracer at ``logger`` (``None`` disables output)."""
+    tracer = get_tracer()
+    tracer.configure(logger)
+    return tracer
+
+
+def span(name: str, trace_id: Optional[str] = None, **fields) -> Span:
+    """Open a span on the process-wide tracer (the common call form)."""
+    return get_tracer().span(name, trace_id=trace_id, **fields)

@@ -75,6 +75,12 @@ class DPSGD:
         self.base_optimizer = base_optimizer or SGD(self.params, lr=lr)
         self._rng = as_generator(rng)
         self.steps_taken = 0
+        #: Diagnostics of the most recent step (read by
+        #: :class:`repro.engine.MetricsCallback`): the mean per-example
+        #: gradient L2 norm before clipping, and the fraction of examples
+        #: whose gradient the clip actually shortened.
+        self.last_grad_norm: Optional[float] = None
+        self.last_clip_fraction: Optional[float] = None
 
     # -- optimisation -------------------------------------------------------------
 
@@ -115,6 +121,9 @@ class DPSGD:
             else:
                 squared_norms = squared_norms + contribution
 
+        norms = np.sqrt(squared_norms)
+        self.last_grad_norm = float(norms.mean())
+        self.last_clip_fraction = float(np.mean(norms > self.max_grad_norm))
         scale = per_example_scale_factors(squared_norms, self.max_grad_norm)
         flat = np.concatenate([p.clipped_grad_sum(scale).ravel() for p in self.params])
         flat += self._rng.normal(

@@ -33,10 +33,11 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import PurePath
-from urllib.parse import unquote, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, get_registry, get_tracer
 from repro.serving.artifacts import ArtifactError
 from repro.serving.service import SynthesisService
 from repro.server.protocol import (
@@ -62,59 +63,76 @@ LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, float("inf"))
 
 
 class ServerMetrics:
-    """Lock-guarded request counters and a fixed-bucket latency histogram."""
+    """The HTTP tier's request metrics, backed by a :class:`MetricsRegistry`.
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._total = 0
-        self._rejected = 0
-        self._in_flight = 0
-        self._by_status: dict = {}
-        self._by_route: dict = {}
-        self._bucket_counts = [0] * len(LATENCY_BUCKETS)
-        self._latency_sum = 0.0
-        self._rows_streamed = 0
+    This used to be a hand-rolled lock-guarded dict; it is now a thin facade
+    over the shared registry (counters/gauges/histograms with exact buckets),
+    so the same numbers are visible through ``/metrics`` JSON, the Prometheus
+    exposition, and ``python -m repro obs``.  :meth:`snapshot` reconstructs
+    the exact JSON shape the PR-5 endpoint established, so existing
+    dashboards keep working.
+    """
+
+    def __init__(self, registry: MetricsRegistry = None):
+        self.registry = registry if registry is not None else get_registry()
+        self._requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests completed, by route and status",
+            labels=("route", "status"),
+        )
+        self._in_flight = self.registry.gauge(
+            "repro_http_requests_in_flight", "HTTP requests currently being handled"
+        )
+        self._rejected = self.registry.counter(
+            "repro_http_requests_rejected_total",
+            "Requests refused with 429 because every worker slot was busy",
+        )
+        self._latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "End-to-end request latency in seconds",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._rows = self.registry.counter(
+            "repro_http_rows_streamed_total", "Synthetic rows streamed to clients"
+        )
 
     def start_request(self) -> None:
-        with self._lock:
-            self._in_flight += 1
+        self._in_flight.inc()
 
     def finish_request(self, route: str, status: int, elapsed: float, rows: int = 0) -> None:
-        with self._lock:
-            self._in_flight -= 1
-            self._total += 1
-            if status == 429:
-                self._rejected += 1
-            self._by_status[str(status)] = self._by_status.get(str(status), 0) + 1
-            self._by_route[route] = self._by_route.get(route, 0) + 1
-            self._latency_sum += elapsed
-            self._rows_streamed += rows
-            for index, edge in enumerate(LATENCY_BUCKETS):
-                if elapsed <= edge:
-                    self._bucket_counts[index] += 1
-                    break
+        self._in_flight.dec()
+        self._requests.inc(route=route, status=str(status))
+        if status == 429:
+            self._rejected.inc()
+        self._latency.observe(elapsed)
+        if rows:
+            self._rows.inc(rows)
 
     def snapshot(self) -> dict:
-        with self._lock:
-            buckets = {
-                ("+Inf" if np.isinf(edge) else repr(edge)): count
-                for edge, count in zip(LATENCY_BUCKETS, self._bucket_counts)
-            }
-            return {
-                "requests": {
-                    "total": self._total,
-                    "in_flight": self._in_flight,
-                    "rejected": self._rejected,
-                    "by_status": dict(sorted(self._by_status.items())),
-                    "by_route": dict(sorted(self._by_route.items())),
-                },
-                "latency_seconds": {
-                    "buckets": buckets,
-                    "sum": round(self._latency_sum, 6),
-                    "count": self._total,
-                },
-                "rows_streamed": self._rows_streamed,
-            }
+        by_status: dict = {}
+        by_route: dict = {}
+        total = 0
+        for (route, status), count in self._requests.samples().items():
+            count = int(count)
+            total += count
+            by_status[status] = by_status.get(status, 0) + count
+            by_route[route] = by_route.get(route, 0) + count
+        latency = self._latency.snapshot()
+        return {
+            "requests": {
+                "total": total,
+                "in_flight": int(self._in_flight.value()),
+                "rejected": int(self._rejected.total()),
+                "by_status": dict(sorted(by_status.items())),
+                "by_route": dict(sorted(by_route.items())),
+            },
+            "latency_seconds": {
+                "buckets": latency["buckets"],
+                "sum": latency["sum"],
+                "count": latency["count"],
+            },
+            "rows_streamed": int(self._rows.total()),
+        }
 
 
 class SynthesisHTTPServer(ThreadingHTTPServer):
@@ -145,6 +163,11 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
         bound.
     access_log:
         A :class:`StructuredLogger`; defaults to JSON lines on stderr.
+    registry:
+        The :class:`repro.obs.MetricsRegistry` request metrics land on;
+        defaults to the process-wide registry (so one ``/metrics`` scrape
+        sees the HTTP tier, the synthesis service, and any in-process
+        training).  Tests pass a private registry for isolation.
     """
 
     daemon_threads = True
@@ -158,6 +181,7 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
         max_rows: int = DEFAULT_MAX_ROWS,
         max_connections: int = 128,
         access_log: StructuredLogger = None,
+        registry: MetricsRegistry = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1; got {workers!r}")
@@ -172,7 +196,8 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
         self.workers = int(workers)
         self.max_rows = int(max_rows)
         self.max_connections = int(max_connections)
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics(registry)
+        self.tracer = get_tracer()
         self.access_log = access_log if access_log is not None else StructuredLogger()
         self._connections = threading.BoundedSemaphore(self.max_connections)
         self._slots = threading.BoundedSemaphore(self.workers)
@@ -368,6 +393,13 @@ class _SynthesisRequestHandler(BaseHTTPRequestHandler):
         self.server.metrics.start_request()
         route_name, status, rows = "unknown", 500, 0
         pending_error = None
+        # One span per request; an X-Request-Id header pins the correlation
+        # id so a client's logs line up with the server's trace tree.  The
+        # span is a no-op unless the process tracer is configured.
+        request_span = self.server.tracer.span(
+            "http.request", trace_id=self.headers.get("X-Request-Id"), method=method
+        )
+        request_span.__enter__()
         self._streaming = False
         self._rows_sent = 0
         # A request that declared a body we never read leaves its bytes in
@@ -442,6 +474,12 @@ class _SynthesisRequestHandler(BaseHTTPRequestHandler):
                 rows=rows,
                 client=self._client(),
             )
+            request_span.annotate(
+                path=self.path, route=route_name, status_code=status, rows=rows
+            )
+            if status >= 500:
+                request_span.status = "error"
+            request_span.__exit__(None, None, None)
             if pending_error is not None:
                 # Non-GET/POST verbs also close: a HEAD client, for one,
                 # will not read the envelope body off the stream.
@@ -473,19 +511,49 @@ class _SynthesisRequestHandler(BaseHTTPRequestHandler):
         return 200
 
     def _do_metrics(self) -> int:
+        query = parse_qs(urlsplit(self.path).query)
+        fmt = query.get("format", ["json"])[-1]
+        if fmt not in ("json", "prometheus"):
+            raise ProtocolError(
+                "invalid_request",
+                f"unknown metrics format {fmt!r}; expected 'json' or 'prometheus'",
+            )
+        registry = self.server.metrics.registry
+        # Scrape-time gauges: point-in-time values owned by the server/service
+        # objects, refreshed per scrape so both expositions agree.
+        workers = registry.gauge(
+            "repro_http_worker_slots", "Synthesis worker slots", labels=("state",)
+        )
+        workers.set(self.server.workers, state="capacity")
+        workers.set(self.server.slots_in_use, state="in_use")
+        cache = self.server.service.cache_stats
+        cache_gauge = registry.gauge(
+            "repro_service_cache_models", "Models in the LRU cache", labels=("state",)
+        )
+        cache_gauge.set(cache["size"], state="size")
+        cache_gauge.set(cache["capacity"], state="capacity")
+        if fmt == "prometheus":
+            self._send_body(
+                200,
+                registry.render_prometheus().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return 200
         payload = self.server.metrics.snapshot()
         payload["workers"] = {
             "capacity": self.server.workers,
             "in_use": self.server.slots_in_use,
         }
         payload["max_rows"] = self.server.max_rows
-        cache = self.server.service.cache_stats
         # The service keys its cache by resolved path; on the wire only
         # root-relative refs are shown (absolute server paths are the
         # operator's business, not the client's).
         root = self.server.service.artifact_root
         cache["cached"] = [self._as_ref(key, root) for key in cache["cached"]]
         payload["cache"] = cache
+        # The full registry dump (service, training, profiling families) rides
+        # along under its own key; the PR-5 top-level keys stay untouched.
+        payload["registry"] = registry.snapshot()
         self._send_json(200, payload)
         return 200
 

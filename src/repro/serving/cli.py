@@ -23,6 +23,10 @@ Subcommands
   HTTP synthesis API of :mod:`repro.server` (``/healthz``, ``/metrics``,
   ``/v1/models``, streamed ``POST .../sample``), with a bounded worker pool
   and structured JSON access logs on stderr.
+- ``obs``      — inspect observability data: pretty-print a metrics snapshot
+  (from a running server via ``--url``, or this process's registry) as a
+  table, JSON, or Prometheus text, or render a ``REPRO_TRACE`` span JSONL
+  file as per-request/per-trial timing trees (``--trace``).
 
 Examples::
 
@@ -38,6 +42,10 @@ Examples::
     python -m repro bench --preset smoke --workers 4 --seeds 0 1 2 \
         --cache-dir .bench-cache --store smoke.jsonl
     python -m repro serve --root artifacts --port 8000 --workers 8
+    python -m repro obs --url http://127.0.0.1:8000
+    python -m repro obs --url http://127.0.0.1:8000 --format prometheus
+    REPRO_TRACE=trace.jsonl python -m repro bench --preset smoke && \
+        python -m repro obs --trace trace.jsonl
 """
 
 from __future__ import annotations
@@ -161,6 +169,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=4, help="LRU model cache size")
     serve.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                        help="default rows per streamed chunk (the memory bound)")
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect metrics snapshots and trace timing trees"
+    )
+    obs_source = obs.add_mutually_exclusive_group()
+    obs_source.add_argument("--url", default=None,
+                            help="base URL of a running `repro serve` instance; "
+                                 "fetches and renders its /metrics")
+    obs_source.add_argument("--trace", type=Path, default=None,
+                            help="span JSONL file (REPRO_TRACE output) to render "
+                                 "as per-trace timing trees")
+    obs.add_argument("--format", choices=("table", "json", "prometheus"),
+                     default="table",
+                     help="metrics rendering (ignored with --trace)")
     return parser
 
 
@@ -193,17 +215,32 @@ def _model_kwargs(args: argparse.Namespace, cls: type) -> dict:
     return kwargs
 
 
+#: The deterministic train/holdout split applied to labelled ``--data`` CSVs.
+#: Recorded in the artifact's metadata so ``evaluate`` replays the identical
+#: split and scores on rows the model (and transformer) never saw.
+CSV_HOLDOUT_TEST_SIZE = 0.1
+
+
 def _load_csv_training_table(args: argparse.Namespace):
     """The ``--data table.csv`` path: returns ``(X, labels, transformer, metadata)``.
 
     Features are encoded through a :class:`TableTransformer` built from the
     declared (``--schema``) or inferred schema; the fitted transformer is
     persisted in the artifact so sampling can restore original-space rows.
+
+    Labelled tables are split *before* anything is fitted: the transformer
+    and the model see only the training fold, and the split parameters are
+    recorded under ``metadata["holdout"]`` so ``python -m repro evaluate``
+    reconstructs the same held-out fold instead of re-splitting the full CSV
+    (which would score the model on rows it trained on).
     """
+    from repro.ml.preprocessing import train_test_split
     from repro.transforms.column import as_typed_values
 
     names, rows = read_csv(args.data)
+    total_rows = len(rows)
     labels = None
+    holdout = None
     if args.label is not None:
         if args.label not in names:
             raise ValueError(
@@ -215,6 +252,15 @@ def _load_csv_training_table(args: argparse.Namespace):
         keep = [i for i in range(rows.shape[1]) if i != index]
         rows = rows[:, keep]
         names = [name for i, name in enumerate(names) if i != index]
+        holdout = {
+            "test_size": CSV_HOLDOUT_TEST_SIZE,
+            "stratify": True,
+            "seed": args.seed,
+        }
+        rows, _, labels, _ = train_test_split(
+            rows, labels, test_size=holdout["test_size"],
+            stratify=holdout["stratify"], random_state=holdout["seed"],
+        )
     schema = None
     if args.schema is not None:
         schema = TableSchema.from_json(args.schema)
@@ -224,11 +270,13 @@ def _load_csv_training_table(args: argparse.Namespace):
     X = transformer.fit_transform(rows, names=names)
     metadata = {
         "data": str(args.data),
-        "rows": len(rows),
+        "rows": total_rows,
         "label": args.label,
         "seed": args.seed,
         "labeled": labels is not None,
     }
+    if holdout is not None:
+        metadata["holdout"] = holdout
     return X, labels, transformer, metadata, args.data.name
 
 
@@ -340,8 +388,16 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------------------
 
 
-def _dataset_from_csv(path, label, seed):
-    """Build a 90/10-split :class:`Dataset` from a labelled CSV for evaluation."""
+def _dataset_from_csv(path, label, seed, holdout=None):
+    """Build a train/test-split :class:`Dataset` from a labelled CSV for evaluation.
+
+    ``holdout`` is the split record a labelled ``--data`` training run wrote
+    into the artifact's metadata; replaying the same deterministic parameters
+    reconstructs exactly the fold the model was fitted on, so the test fold
+    contains only rows the model never saw.  Legacy artifacts without the
+    record (and explicit evaluations of a *different* CSV) fall back to a
+    fresh 90/10 split keyed on ``seed``.
+    """
     from repro.datasets import Dataset
     from repro.ml.preprocessing import train_test_split
     from repro.transforms.column import as_typed_values
@@ -356,8 +412,13 @@ def _dataset_from_csv(path, label, seed):
     index = names.index(label)
     labels = as_typed_values(rows[:, index])
     keep = [i for i in range(rows.shape[1]) if i != index]
+    test_size, stratify = CSV_HOLDOUT_TEST_SIZE, True
+    if holdout is not None:
+        test_size = holdout.get("test_size", test_size)
+        stratify = holdout.get("stratify", stratify)
+        seed = holdout.get("seed", seed)
     X_train, X_test, y_train, y_test = train_test_split(
-        rows[:, keep], labels, test_size=0.1, stratify=True, random_state=seed
+        rows[:, keep], labels, test_size=test_size, stratify=stratify, random_state=seed
     )
     return Dataset(
         name=Path(path).name,
@@ -383,10 +444,16 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         dataset_seed = metadata.get("seed", args.seed) if args.dataset is None else args.seed
         data = load_dataset(dataset_name, n_samples=rows, random_state=dataset_seed)
     elif data_path is not None:
-        # CSV-trained artifact (or explicit --data): split the table 90/10 and
-        # run the protocol through the artifact's stored transformer.
+        # CSV-trained artifact (or explicit --data): reconstruct the recorded
+        # train/holdout split (fresh split for legacy artifacts or a
+        # different CSV) and run the protocol through the artifact's stored
+        # transformer.
+        same_csv = args.data is None or str(args.data) == metadata.get("data")
         data = _dataset_from_csv(
-            data_path, args.label or metadata.get("label"), metadata.get("seed", args.seed)
+            data_path,
+            args.label or metadata.get("label"),
+            metadata.get("seed", args.seed),
+            holdout=metadata.get("holdout") if same_csv else None,
         )
     else:
         print(
@@ -550,6 +617,126 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------------------
+# obs
+# ----------------------------------------------------------------------------------
+
+
+def _print_registry_table(snapshot: dict) -> int:
+    """Human-oriented rendering of a registry snapshot (one family per block)."""
+    if not snapshot:
+        print("(no metrics recorded)")
+        return 0
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        print(f"{name} ({family['type']})")
+        if not family["series"]:
+            print("  (no samples)")
+            continue
+        for entry in family["series"]:
+            labels = entry.get("labels") or {}
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+            if family["type"] == "histogram":
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                print(f"  {label_text:<44} count={count} "
+                      f"sum={entry['sum']:.6g}s mean={mean:.6g}s")
+            else:
+                print(f"  {label_text:<44} {float(entry['value']):g}")
+    return 0
+
+
+_SPAN_CORE_FIELDS = frozenset(
+    {"ts", "event", "name", "trace_id", "span_id", "parent_id", "duration_ms", "status"}
+)
+
+
+def _render_trace(path: Path) -> int:
+    """Reassemble a span JSONL stream into indented per-trace timing trees."""
+    spans = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn line from a live writer; skip it
+            if record.get("event") == "span":
+                spans.append(record)
+    if not spans:
+        print(f"(no spans in {path})")
+        return 0
+
+    by_trace: dict = {}
+    for record in spans:
+        by_trace.setdefault(record.get("trace_id"), []).append(record)
+
+    def render(node, children, depth):
+        annotations = " ".join(
+            f"{key}={value}" for key, value in sorted(node.items())
+            if key not in _SPAN_CORE_FIELDS
+        )
+        status = node.get("status", "ok")
+        parts = [f"{node.get('name')}", f"{node.get('duration_ms', 0.0):.3f} ms"]
+        if status != "ok":
+            parts.append(f"[{status}]")
+        if annotations:
+            parts.append(annotations)
+        print("  " * (depth + 1) + "  ".join(parts))
+        for child in children.get(node.get("span_id"), ()):
+            render(child, children, depth + 1)
+
+    for trace_id, members in by_trace.items():
+        span_ids = {member.get("span_id") for member in members}
+        children: dict = {}
+        roots = []
+        for member in members:
+            parent = member.get("parent_id")
+            if parent in span_ids:
+                children.setdefault(parent, []).append(member)
+            else:
+                roots.append(member)
+        print(f"trace {trace_id} ({len(members)} span(s))")
+        for root in roots:
+            render(root, children, 0)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        return _render_trace(args.trace)
+    if args.url is not None:
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/metrics"
+        if args.format == "prometheus":
+            url += "?format=prometheus"
+        with urlopen(url) as response:
+            body = response.read().decode("utf-8")
+        if args.format == "prometheus":
+            print(body, end="")
+            return 0
+        payload = json.loads(body)
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        return _print_registry_table(payload.get("registry", {}))
+    # No source given: this process's own registry (useful after in-process
+    # training/benchmarks, and as a smoke check of the exposition formats).
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    if args.format == "prometheus":
+        print(registry.render_prometheus(), end="")
+        return 0
+    if args.format == "json":
+        print(registry.render_json())
+        return 0
+    return _print_registry_table(registry.snapshot())
+
+
+# ----------------------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
@@ -561,6 +748,7 @@ def main(argv=None) -> int:
         "inspect": _cmd_inspect,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
     }[args.command]
     try:
         return handler(args)

@@ -14,12 +14,14 @@ service has served before.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.serving.artifacts import (
     ArtifactError,
     load_artifact,
@@ -64,7 +66,8 @@ class SynthesisService:
     per request for this reason).
     """
 
-    def __init__(self, artifact_root=None, cache_size: int = 4, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    def __init__(self, artifact_root=None, cache_size: int = 4, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 registry=None):
         check_positive(cache_size, "cache_size")
         check_positive(chunk_size, "chunk_size")
         self.artifact_root = None if artifact_root is None else Path(artifact_root)
@@ -76,6 +79,27 @@ class SynthesisService:
         self._transformers: dict = {}
         self._hits = 0
         self._misses = 0
+        # Observability: per-instance hit/miss stats above feed cache_stats
+        # (per-service, exact); the shared metric families below feed
+        # /metrics and `python -m repro obs` (`registry` defaults to the
+        # process-wide one).
+        metrics = registry if registry is not None else get_registry()
+        self._cache_events = metrics.counter(
+            "repro_service_cache_events_total",
+            "Model cache traffic (hit / miss / eviction), by event",
+            labels=("event",),
+        )
+        self._load_seconds = metrics.histogram(
+            "repro_service_artifact_load_seconds",
+            "Cold artifact load latency in seconds",
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+        )
+        self._chunk_seconds = metrics.histogram(
+            "repro_service_chunk_seconds",
+            "Per-chunk synthesis latency of streamed requests, by stream kind",
+            labels=("stream",),
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        )
 
     # -- model resolution and caching ----------------------------------------------
 
@@ -110,14 +134,19 @@ class SynthesisService:
         with self._lock:
             if key in self._cache:
                 self._hits += 1
+                self._cache_events.inc(event="hit")
                 self._cache.move_to_end(key)
                 return self._cache[key]
             self._misses += 1
+            self._cache_events.inc(event="miss")
+            load_started = time.perf_counter()
             model = load_artifact(key)
+            self._load_seconds.observe(time.perf_counter() - load_started)
             self._cache[key] = model
             while len(self._cache) > self.cache_size:
                 evicted, _ = self._cache.popitem(last=False)
                 self._transformers.pop(evicted, None)
+                self._cache_events.inc(event="eviction")
             return model
 
     def transformer(self, ref):
@@ -140,11 +169,13 @@ class SynthesisService:
         """Drop one model (or all of them) from the cache."""
         with self._lock:
             if ref is None:
+                self._cache_events.inc(len(self._cache), event="eviction")
                 self._cache.clear()
                 self._transformers.clear()
                 return
             key = str(self.resolve(ref))
-            self._cache.pop(key, None)
+            if self._cache.pop(key, None) is not None:
+                self._cache_events.inc(event="eviction")
             self._transformers.pop(key, None)
 
     @property
@@ -262,8 +293,14 @@ class SynthesisService:
             remaining = n_samples
             while remaining > 0:
                 take = min(chunk_size, remaining)
+                chunk_started = time.perf_counter()
                 chunk = model.sample(take, rng=rng)
-                yield chunk if inverse is None else inverse(chunk)
+                if inverse is not None:
+                    chunk = inverse(chunk)
+                self._chunk_seconds.observe(
+                    time.perf_counter() - chunk_started, stream="sample"
+                )
+                yield chunk
                 remaining -= take
 
         return generate()
@@ -310,10 +347,16 @@ class SynthesisService:
                 for _ in range(int(take - counts.sum())):
                     counts[np.argmax(total_quotas - (emitted + counts))] += 1
                 emitted += counts
+                chunk_started = time.perf_counter()
                 features, labels = model.sample_labeled(
                     take, rng=rng, generation_rng=rng, class_counts=counts
                 )
-                yield (features if inverse is None else inverse(features)), labels
+                if inverse is not None:
+                    features = inverse(features)
+                self._chunk_seconds.observe(
+                    time.perf_counter() - chunk_started, stream="sample_labeled"
+                )
+                yield features, labels
 
         return generate()
 

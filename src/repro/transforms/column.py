@@ -255,14 +255,18 @@ class _CategoryCodec:
         categories = self.categories_
         order = np.argsort(categories, kind="stable")
         sorted_categories = categories[order]
-        if categories.dtype.kind == "f" and values.dtype.kind == "f":
-            # Nearest-category match, vectorised over the sorted category grid.
-            positions = np.searchsorted(sorted_categories, values)
+        if categories.dtype.kind in "fiub" and values.dtype.kind in "fiub":
+            # Nearest-category match, vectorised over the sorted category
+            # grid.  All numeric kinds take this path (not only float/float):
+            # integer categories like [0, 5, 10] must also snap 7 to 5, not
+            # let a clipped searchsorted silently map it to 10.  float64 is
+            # exact for every integer these codecs see.
+            grid = sorted_categories.astype(np.float64, copy=False)
+            numeric = values.astype(np.float64, copy=False)
+            positions = np.searchsorted(grid, numeric)
             left = np.clip(positions - 1, 0, len(categories) - 1)
             right = np.clip(positions, 0, len(categories) - 1)
-            take_right = np.abs(sorted_categories[right] - values) <= np.abs(
-                sorted_categories[left] - values
-            )
+            take_right = np.abs(grid[right] - numeric) <= np.abs(grid[left] - numeric)
             return order[np.where(take_right, right, left)].astype(int)
         self._check_known(values)
         positions = np.clip(

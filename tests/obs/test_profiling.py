@@ -1,0 +1,74 @@
+"""Phase profiling: measurements, gauge mirroring, and the env gate."""
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, Profiler, maybe_profile, profile_phase, profiling_enabled
+
+
+class TestProfiler:
+    def test_phase_measures_wall_and_cpu(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        with profiler.phase("sleepy") as profile:
+            time.sleep(0.02)
+        assert profile.phase == "sleepy"
+        assert profile.wall_s >= 0.015
+        assert profile.cpu_s >= 0.0
+        assert profiler.phases == [profile]
+
+    def test_results_mirror_onto_gauges(self):
+        registry = MetricsRegistry()
+        with profile_phase("train.fit", registry=registry):
+            pass
+        wall = registry.get("repro_profile_wall_seconds")
+        assert wall is not None
+        assert wall.value(phase="train.fit") >= 0.0
+
+    def test_report_lists_phases_in_order(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        with profiler.phase("first"):
+            pass
+        with profiler.phase("second"):
+            pass
+        assert [entry["phase"] for entry in profiler.report()] == ["first", "second"]
+        assert all("wall_s" in entry for entry in profiler.report())
+
+    def test_trace_allocations_reports_tracemalloc_peak(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        with profiler.phase("alloc", trace_allocations=True) as profile:
+            blob = bytearray(4_000_000)
+            del blob
+        assert profile.traced_peak_mb is not None
+        assert profile.traced_peak_mb >= 3.5
+
+    def test_exceptions_still_record_the_phase(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry=registry)
+        with pytest.raises(ValueError):
+            with profiler.phase("boom"):
+                raise ValueError("nope")
+        assert [entry["phase"] for entry in profiler.report()] == ["boom"]
+
+
+class TestEnvGate:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profiling_enabled()
+        registry = MetricsRegistry()
+        with maybe_profile("idle", registry=registry) as profile:
+            pass
+        assert profile is None
+        assert registry.get("repro_profile_wall_seconds") is None
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert profiling_enabled()
+        registry = MetricsRegistry()
+        with maybe_profile("active", registry=registry) as profile:
+            pass
+        assert profile is not None
+        assert registry.get("repro_profile_wall_seconds").value(phase="active") >= 0

@@ -1,0 +1,146 @@
+"""Span tracing: nesting, correlation ids, and the emitted JSONL records."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import Span, Tracer, configure_tracer, current_span, get_tracer
+from repro.utils.logging import StructuredLogger
+
+
+@pytest.fixture
+def sink():
+    return io.StringIO()
+
+
+@pytest.fixture
+def tracer(sink):
+    return Tracer(StructuredLogger(sink))
+
+
+def emitted(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestSpanTree:
+    def test_children_inherit_trace_id_and_point_at_parent(self, tracer, sink):
+        with tracer.span("http.request") as root:
+            with tracer.span("model.sample") as child:
+                with tracer.span("transform.inverse") as grandchild:
+                    pass
+        records = {record["name"]: record for record in emitted(sink)}
+        assert len(records) == 3
+        assert records["model.sample"]["trace_id"] == root.trace_id
+        assert records["transform.inverse"]["trace_id"] == root.trace_id
+        assert records["model.sample"]["parent_id"] == root.span_id
+        assert records["transform.inverse"]["parent_id"] == child.span_id
+        assert records["http.request"]["parent_id"] is None
+
+    def test_children_close_before_parents_in_the_stream(self, tracer, sink):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [record["name"] for record in emitted(sink)]
+        assert names == ["inner", "outer"]
+
+    def test_sibling_spans_share_a_parent_not_each_other(self, tracer, sink):
+        with tracer.span("outer") as outer:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        records = {record["name"]: record for record in emitted(sink)}
+        assert records["first"]["parent_id"] == outer.span_id
+        assert records["second"]["parent_id"] == outer.span_id
+
+    def test_current_span_tracks_the_stack(self, tracer):
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+
+class TestCorrelationIds:
+    def test_explicit_trace_id_pins_the_root(self, tracer, sink):
+        with tracer.span("experiment.trial", trace_id="abc123"):
+            with tracer.span("model.fit"):
+                pass
+        for record in emitted(sink):
+            assert record["trace_id"] == "abc123"
+
+    def test_roots_without_explicit_ids_get_distinct_traces(self, tracer, sink):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = {record["trace_id"] for record in emitted(sink)}
+        assert len(ids) == 2
+
+    def test_nesting_is_per_thread(self, tracer):
+        observed = {}
+
+        def worker(name):
+            with tracer.span(name) as span:
+                observed[name] = (span.parent_id, span.trace_id)
+
+        with tracer.span("main-root"):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Worker threads never see the main thread's ambient span.
+        for parent_id, _ in observed.values():
+            assert parent_id is None
+        assert len({trace_id for _, trace_id in observed.values()}) == 4
+
+
+class TestRecords:
+    def test_record_shape(self, tracer, sink):
+        with tracer.span("model.sample", rows=512) as span:
+            span.annotate(chunks=2)
+        (record,) = emitted(sink)
+        assert record["event"] == "span"
+        assert record["name"] == "model.sample"
+        assert record["status"] == "ok"
+        assert record["rows"] == 512
+        assert record["chunks"] == 2
+        assert record["duration_ms"] >= 0
+        assert "ts" in record
+
+    def test_exceptions_mark_the_span_as_error_and_propagate(self, tracer, sink):
+        with pytest.raises(RuntimeError):
+            with tracer.span("model.fit"):
+                raise RuntimeError("nan loss")
+        (record,) = emitted(sink)
+        assert record["status"] == "error"
+        assert record["error"] == "RuntimeError"
+
+    def test_disabled_tracer_still_nests_but_writes_nothing(self, sink):
+        tracer = Tracer(None)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert sink.getvalue() == ""
+        assert not tracer.enabled
+
+
+class TestProcessWideTracer:
+    def test_configure_tracer_attaches_and_detaches(self, sink):
+        tracer = configure_tracer(StructuredLogger(sink))
+        try:
+            assert tracer is get_tracer()
+            with tracer.span("cli.obs"):
+                pass
+            assert emitted(sink)[0]["name"] == "cli.obs"
+        finally:
+            configure_tracer(None)
+        assert not get_tracer().enabled

@@ -1,0 +1,165 @@
+"""The migrated /metrics endpoint: PR-5 JSON compatibility + Prometheus text.
+
+The registry-backed ``ServerMetrics`` must keep every key the original
+hand-rolled endpoint served (dashboards depend on them), add the full
+registry dump, and answer ``?format=prometheus`` with the text exposition —
+all from the same underlying counters.
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, configure_tracer
+from repro.utils.logging import StructuredLogger
+from server_kit import serve_root
+
+#: Exact key paths the PR-5 JSON endpoint established.
+PR5_REQUEST_KEYS = {"total", "in_flight", "rejected", "by_status", "by_route"}
+PR5_LATENCY_KEYS = {"buckets", "sum", "count"}
+PR5_TOP_KEYS = {"requests", "latency_seconds", "rows_streamed", "workers", "max_rows", "cache"}
+
+
+@pytest.fixture(scope="module")
+def http(numeric_artifact_root):
+    registry = MetricsRegistry()
+    with serve_root(
+        numeric_artifact_root,
+        service_kwargs={"registry": registry},
+        registry=registry,
+        workers=4,
+    ) as running:
+        yield running
+
+
+class TestJsonCompatibility:
+    def test_json_keys_are_a_superset_of_pr5(self, http):
+        _, client, _ = http
+        client.sample("vae", 5, seed=0)
+        payload = client.metrics()
+        assert PR5_TOP_KEYS <= set(payload)
+        assert PR5_REQUEST_KEYS <= set(payload["requests"])
+        assert PR5_LATENCY_KEYS <= set(payload["latency_seconds"])
+        assert {"size", "capacity", "hits", "misses", "cached"} <= set(payload["cache"])
+        # The new registry dump rides along without displacing anything.
+        assert "registry" in payload
+        assert "repro_http_requests_total" in payload["registry"]
+
+    def test_request_accounting_flows_through_the_registry(self, http):
+        _, client, _ = http
+        before = client.metrics()
+        client.sample("vae", 7, seed=1)
+        # A request is counted in its handler's finally block, which may
+        # still be running when the next request is served — poll for the
+        # counters to land instead of racing them.
+        deadline = time.monotonic() + 5.0
+        while True:
+            after = client.metrics()
+            if (
+                after["requests"]["total"] >= before["requests"]["total"] + 2
+                or time.monotonic() > deadline
+            ):
+                break
+            time.sleep(0.01)
+        assert after["requests"]["total"] >= before["requests"]["total"] + 2
+        assert after["requests"]["by_status"].get("200", 0) > 0
+        assert after["requests"]["by_route"].get("sample", 0) > 0
+        assert after["rows_streamed"] >= before["rows_streamed"] + 7
+        assert after["latency_seconds"]["count"] >= before["latency_seconds"]["count"] + 2
+        bucket_total = sum(after["latency_seconds"]["buckets"].values())
+        assert bucket_total == after["latency_seconds"]["count"]
+
+    def test_service_cache_events_share_the_registry(self, http):
+        _, client, _ = http
+        client.sample("vae", 3, seed=2)
+        client.sample("vae", 3, seed=3)
+        registry_dump = client.metrics()["registry"]
+        events = registry_dump["repro_service_cache_events_total"]["series"]
+        by_event = {entry["labels"]["event"]: entry["value"] for entry in events}
+        assert by_event.get("miss", 0) >= 1
+        assert by_event.get("hit", 0) >= 1
+
+    def test_worker_and_cache_gauges_refresh_at_scrape_time(self, http):
+        server, client, _ = http
+        registry_dump = client.metrics()["registry"]
+        slots = {
+            entry["labels"]["state"]: entry["value"]
+            for entry in registry_dump["repro_http_worker_slots"]["series"]
+        }
+        assert slots["capacity"] == 4
+        assert 0 <= slots["in_use"] <= 4
+
+
+class TestPrometheusFormat:
+    def test_prometheus_text_is_served_with_the_right_content_type(self, http):
+        _, client, _ = http
+        client.sample("vae", 4, seed=4)
+        status, headers, body = client.request("GET", "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_service_cache_events_total" in text
+
+    def test_prometheus_counts_agree_with_json(self, http):
+        _, client, _ = http
+        payload = client.metrics()
+        _, _, body = client.request("GET", "/metrics?format=prometheus")
+        line = next(
+            line for line in body.decode().splitlines()
+            if line.startswith("repro_http_request_seconds_count")
+        )
+        # The scrape itself is not yet counted; JSON ran first so >= holds.
+        assert int(line.rsplit(" ", 1)[1]) >= payload["latency_seconds"]["count"]
+
+    def test_json_stays_the_default(self, http):
+        _, client, _ = http
+        status, headers, body = client.request("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        json.loads(body)
+
+    def test_unknown_format_is_a_400(self, http):
+        _, client, _ = http
+        status, _, body = client.request("GET", "/metrics?format=xml")
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "invalid_request"
+
+
+class TestRequestTracing:
+    def test_x_request_id_becomes_the_trace_correlation_id(self, http):
+        server, client, _ = http
+        import io
+        import time
+
+        sink = io.StringIO()
+        configure_tracer(StructuredLogger(sink))
+        try:
+            request = urllib.request.Request(
+                client.base_url + "/healthz",
+                headers={"X-Request-Id": "req-42-abc"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 200
+            # The span closes in the handler thread after the response body
+            # is already consumed; wait for the emit rather than racing it.
+            deadline = time.monotonic() + 5.0
+            while "req-42-abc" not in sink.getvalue():
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.01)
+        finally:
+            configure_tracer(None)
+        spans = [json.loads(line) for line in sink.getvalue().splitlines()]
+        request_spans = [
+            span for span in spans
+            if span["name"] == "http.request" and span["trace_id"] == "req-42-abc"
+        ]
+        assert len(request_spans) == 1
+        assert request_spans[0]["route"] == "healthz"
+        assert request_spans[0]["status_code"] == 200
+        assert request_spans[0]["status"] == "ok"

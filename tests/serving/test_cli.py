@@ -165,6 +165,187 @@ class TestServe:
         assert args.max_connections == 128
 
 
+class TestCsvHoldout:
+    """Satellite regression: labelled --data training must hold out a test fold."""
+
+    @pytest.fixture()
+    def labeled_csv(self, tmp_path):
+        from repro.datasets import load_dataset
+        from repro.transforms import write_csv
+
+        dataset = load_dataset("adult_mixed", n_samples=400, random_state=0)
+        rows = np.empty((len(dataset.X_train), dataset.X_train.shape[1] + 1), dtype=object)
+        rows[:, :-1] = dataset.X_train
+        rows[:, -1] = dataset.y_train
+        path = tmp_path / "adult.csv"
+        write_csv(path, rows, names=list(dataset.schema.names) + ["income"])
+        return path, len(rows)
+
+    def test_manifest_records_the_holdout_split(self, labeled_csv, tmp_path, capsys):
+        csv_path, total_rows = labeled_csv
+        artifact = tmp_path / "artifact"
+        assert main(
+            [
+                "train", "--model", "privbayes", "--data", str(csv_path),
+                "--label", "income", "--epsilon", "1.0",
+                "--output", str(artifact), "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        assert manifest["metadata"]["holdout"] == {
+            "test_size": 0.1, "stratify": True, "seed": 3,
+        }
+        # ``rows`` is the full CSV; the model only ever saw the train fold.
+        assert manifest["metadata"]["rows"] == total_rows
+        train_fold = total_rows - round(total_rows * 0.1)
+        assert f"({train_fold} rows" in out
+
+    def test_evaluate_replays_the_recorded_fold_disjoint_from_training(
+        self, labeled_csv, tmp_path, capsys
+    ):
+        from repro.ml.preprocessing import train_test_split
+        from repro.serving.cli import _dataset_from_csv
+        from repro.transforms import read_csv
+        from repro.transforms.column import as_typed_values
+
+        csv_path, total_rows = labeled_csv
+        holdout = {"test_size": 0.1, "stratify": True, "seed": 3}
+        data = _dataset_from_csv(csv_path, "income", seed=999, holdout=holdout)
+        replay = _dataset_from_csv(csv_path, "income", seed=999, holdout=holdout)
+        # Deterministic replay: the recorded parameters pin the split, the
+        # caller's seed is irrelevant once a holdout record exists.
+        assert (data.X_test == replay.X_test).all()
+        assert len(data.X_test) == round(total_rows * 0.1)
+        # The test fold is exactly the rows the training run left out.
+        names, rows = read_csv(csv_path)
+        index = names.index("income")
+        labels = as_typed_values(rows[:, index])
+        keep = [i for i in range(rows.shape[1]) if i != index]
+        train_rows, _, _, _ = train_test_split(
+            rows[:, keep], labels, test_size=0.1, stratify=True, random_state=3
+        )
+        train_keys = {",".join(map(str, row)) for row in train_rows}
+        test_keys = {",".join(map(str, row)) for row in data.X_test}
+        assert (data.X_train == train_rows).all()
+        assert not (test_keys & train_keys)
+
+    def test_end_to_end_evaluate_uses_the_holdout(self, labeled_csv, tmp_path, capsys):
+        csv_path, _ = labeled_csv
+        artifact = tmp_path / "artifact"
+        assert main(
+            [
+                "train", "--model", "privbayes", "--data", str(csv_path),
+                "--label", "income", "--epsilon", "3.0",
+                "--output", str(artifact), "--seed", "0",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--artifact", str(artifact)]) == 0
+        assert "auroc" in capsys.readouterr().out
+
+
+class TestObs:
+    @pytest.fixture()
+    def fresh_registry(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        yield mine
+        set_registry(previous)
+
+    def test_local_registry_table(self, fresh_registry, capsys):
+        fresh_registry.counter(
+            "repro_demo_total", "demo", labels=("kind",)
+        ).inc(3, kind="a")
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_demo_total (counter)" in out
+        assert "kind=a" in out
+
+    def test_local_registry_prometheus_and_json(self, fresh_registry, capsys):
+        fresh_registry.counter("repro_demo_total", "demo").inc(2)
+        assert main(["obs", "--format", "prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_demo_total counter" in text
+        assert "repro_demo_total 2" in text
+        assert main(["obs", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repro_demo_total"]["type"] == "counter"
+
+    def test_empty_registry_prints_a_placeholder(self, fresh_registry, capsys):
+        assert main(["obs"]) == 0
+        assert "(no metrics recorded)" in capsys.readouterr().out
+
+    def test_trace_rendering_builds_indented_trees(self, tmp_path, capsys):
+        from repro.obs import Tracer
+        from repro.utils.logging import StructuredLogger
+
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as handle:
+            tracer = Tracer(StructuredLogger(handle))
+            with tracer.span("http.request", trace_id="req-1", route="sample"):
+                with tracer.span("model.sample", rows=64):
+                    pass
+            handle.write("{torn json line\n")  # live writers tear lines
+        assert main(["obs", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace req-1 (2 span(s))" in out
+        lines = out.splitlines()
+        request_line = next(line for line in lines if "http.request" in line)
+        child_line = next(line for line in lines if "model.sample" in line)
+        # The child is indented one level deeper than its parent.
+        assert len(child_line) - len(child_line.lstrip()) \
+            == len(request_line) - len(request_line.lstrip()) + 2
+        assert "route=sample" in request_line
+        assert "rows=64" in child_line
+
+    def test_trace_of_empty_file_is_not_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "--trace", str(path)]) == 0
+        assert "(no spans" in capsys.readouterr().out
+
+    def test_url_fetches_a_running_server(self, tmp_path, capsys):
+        import threading
+
+        from repro.models import VAE
+        from repro.server import SynthesisHTTPServer
+        from repro.serving.service import SynthesisService
+
+        X = np.random.default_rng(0).random((120, 6)).astype(np.float64)
+        model = VAE(latent_dim=2, hidden=(8,), epochs=1, batch_size=40,
+                    random_state=0).fit(X)
+        save_artifact(model, tmp_path / "vae")
+        service = SynthesisService(artifact_root=tmp_path)
+        server = SynthesisHTTPServer(("127.0.0.1", 0), service, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            assert main(["obs", "--url", url]) == 0
+            table = capsys.readouterr().out
+            assert "repro_http_requests_total (counter)" in table
+            assert main(["obs", "--url", url, "--format", "prometheus"]) == 0
+            assert "# TYPE repro_http_requests_total counter" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_url_and_trace_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs", "--url", "http://x", "--trace", "t.jsonl"])
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        from repro.serving.cli import build_parser
+
+        args = build_parser().parse_args(["obs"])
+        assert (args.url, args.trace, args.format) == (None, None, "table")
+
+
 class TestBench:
     def test_list_prints_registered_specs(self, capsys):
         assert main(["bench", "--list"]) == 0

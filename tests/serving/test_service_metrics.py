@@ -1,0 +1,100 @@
+"""SynthesisService observability: cache counters and latency histograms."""
+
+import numpy as np
+import pytest
+
+from repro.models import VAE
+from repro.obs import MetricsRegistry
+from repro.serving import SynthesisService, save_artifact
+
+
+@pytest.fixture(scope="module")
+def artifact_root(tmp_path_factory, tiny_labeled_data):
+    X, y = tiny_labeled_data
+    root = tmp_path_factory.mktemp("obs-artifacts")
+    model = VAE(latent_dim=3, hidden=(16,), epochs=1, batch_size=50, random_state=0)
+    save_artifact(model.fit(X, y), root / "vae")
+    save_artifact(
+        VAE(latent_dim=3, hidden=(16,), epochs=1, batch_size=50, random_state=1).fit(X, y),
+        root / "vae-b",
+    )
+    return root
+
+
+def events(registry):
+    counter = registry.get("repro_service_cache_events_total")
+    return {key[0]: value for key, value in counter.samples().items()}
+
+
+class TestCacheCounters:
+    def test_hits_and_misses_are_counted(self, artifact_root):
+        registry = MetricsRegistry()
+        service = SynthesisService(artifact_root=artifact_root, registry=registry)
+        service.get("vae")
+        service.get("vae")
+        service.get("vae")
+        assert events(registry) == {"miss": 1, "hit": 2}
+        # The per-instance stats agree with the registry view.
+        assert service.cache_stats["hits"] == 2
+        assert service.cache_stats["misses"] == 1
+
+    def test_lru_eviction_is_counted(self, artifact_root):
+        registry = MetricsRegistry()
+        service = SynthesisService(
+            artifact_root=artifact_root, cache_size=1, registry=registry
+        )
+        service.get("vae")
+        service.get("vae-b")  # evicts vae
+        assert events(registry)["eviction"] == 1
+
+    def test_explicit_evict_is_counted(self, artifact_root):
+        registry = MetricsRegistry()
+        service = SynthesisService(artifact_root=artifact_root, registry=registry)
+        service.get("vae")
+        service.get("vae-b")
+        service.evict("vae")
+        assert events(registry)["eviction"] == 1
+        service.evict()  # drops the remaining model
+        assert events(registry)["eviction"] == 2
+        service.evict("vae")  # already gone: not an eviction
+        assert events(registry)["eviction"] == 2
+
+    def test_artifact_load_latency_is_observed_on_misses_only(self, artifact_root):
+        registry = MetricsRegistry()
+        service = SynthesisService(artifact_root=artifact_root, registry=registry)
+        service.get("vae")
+        service.get("vae")
+        snap = registry.get("repro_service_artifact_load_seconds").snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] > 0
+
+
+class TestChunkLatency:
+    def test_stream_observes_one_sample_per_chunk(self, artifact_root):
+        registry = MetricsRegistry()
+        service = SynthesisService(artifact_root=artifact_root, registry=registry)
+        chunks = list(service.stream("vae", 25, seed=0, chunk_size=10))
+        assert len(chunks) == 3
+        snap = registry.get("repro_service_chunk_seconds").snapshot(stream="sample")
+        assert snap["count"] == 3
+
+    def test_labeled_stream_uses_its_own_series(self, artifact_root):
+        registry = MetricsRegistry()
+        service = SynthesisService(artifact_root=artifact_root, registry=registry)
+        list(service.stream_labeled("vae", 20, seed=0, chunk_size=10))
+        histogram = registry.get("repro_service_chunk_seconds")
+        assert histogram.snapshot(stream="sample_labeled")["count"] == 2
+        assert histogram.snapshot(stream="sample")["count"] == 0
+
+    def test_streams_draw_identically_with_and_without_instrumentation(
+        self, artifact_root
+    ):
+        instrumented = SynthesisService(
+            artifact_root=artifact_root, registry=MetricsRegistry()
+        )
+        disabled = SynthesisService(
+            artifact_root=artifact_root, registry=MetricsRegistry(enabled=False)
+        )
+        a = np.vstack(list(instrumented.stream("vae", 30, seed=7, chunk_size=8)))
+        b = np.vstack(list(disabled.stream("vae", 30, seed=7, chunk_size=8)))
+        assert np.array_equal(a, b)

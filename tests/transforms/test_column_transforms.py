@@ -76,6 +76,13 @@ class TestOneHotCategorical:
         assert np.array_equal(block[:, 0], [0, 0, 1])  # "c" column first
         assert (encoder.inverse_transform(block) == ["a", "b", "c"]).all()
 
+    def test_integer_categories_snap_to_nearest(self):
+        # Same regression as the ordinal codec: numeric one-hot columns must
+        # nearest-snap for every numeric dtype, not only exact matches.
+        encoder = OneHotCategorical(categories=[0, 5, 10]).fit([0])
+        block = encoder.transform([7, 3])
+        assert np.array_equal(block, [[0, 1, 0], [0, 1, 0]])
+
     def test_unknown_string_raises(self):
         encoder = OneHotCategorical(categories=["a", "b"]).fit(["a"])
         with pytest.raises(ValueError, match="not in the declared categories"):
@@ -103,6 +110,33 @@ class TestOrdinalCategorical:
     def test_numeric_values_snap_to_nearest_category(self):
         encoder = OrdinalCategorical().fit(np.array([0.0, 0.5, 1.0]))
         assert np.array_equal(encoder.encode(np.array([0.1, 0.45, 0.8, 2.0])), [0, 1, 2, 2])
+
+    def test_integer_categories_snap_to_nearest_not_upper_neighbour(self):
+        # Regression: with integer categories [0, 5, 10] the old encode fell
+        # through to the exact-match string path, where a clipped
+        # searchsorted mapped 7 to 10 (the insertion point) instead of the
+        # nearest category 5.
+        encoder = OrdinalCategorical().fit(np.array([0, 5, 10]))
+        assert np.array_equal(
+            encoder.encode(np.array([7, 3, 2, 8, -4, 99])), [1, 1, 0, 2, 0, 2]
+        )
+
+    def test_integer_categories_accept_float_values_and_vice_versa(self):
+        encoder = OrdinalCategorical().fit(np.array([0, 5, 10]))
+        assert np.array_equal(encoder.encode(np.array([4.9, 7.6])), [1, 2])
+        float_encoder = OrdinalCategorical().fit(np.array([0.0, 5.0, 10.0]))
+        assert np.array_equal(float_encoder.encode(np.array([7, 3])), [1, 1])
+
+    def test_declared_unsorted_integer_categories_keep_their_order(self):
+        # Codes index the *declared* order even though snapping works on the
+        # sorted grid.
+        encoder = OrdinalCategorical(categories=(10, 0, 5)).fit([10])
+        assert np.array_equal(encoder.encode(np.array([7, 1, 11])), [2, 1, 0])
+        assert np.array_equal(encoder.decode([2, 1, 0]), [5, 0, 10])
+
+    def test_boolean_categories_snap_numerically(self):
+        encoder = OrdinalCategorical().fit(np.array([False, True]))
+        assert np.array_equal(encoder.encode(np.array([0.2, 0.9])), [0, 1])
 
 
 class TestEqualWidthDiscretizer:
