@@ -1,20 +1,25 @@
-"""HTTP serving load benchmark: throughput, tail latency, flat memory.
+"""HTTP serving load benchmark: process-sweep throughput, tail latency, memory.
 
 Drives the :mod:`repro.server` tier the way production traffic would — many
-concurrent stdlib clients streaming seeded NDJSON requests against one
-in-process :class:`SynthesisHTTPServer` — and measures:
+concurrent stdlib clients streaming seeded NDJSON requests — and measures:
 
-- **sustained req/s and p50/p99 latency** at 1, 8, and 32 concurrent
-  clients (every request must complete with status 200; a saturated or
-  wedged server fails the run, not just slows it);
+- **sustained req/s and p50/p99 latency** at 1, 8, and 32 concurrent clients,
+  swept across ``--processes 1,2,4`` server configurations: one in-process
+  :class:`SynthesisHTTPServer` versus pre-fork :class:`WorkerPool` tiers
+  (every request must complete with status 200; a saturated or wedged server
+  fails the run, not just slows it);
+- **multi-core scaling**: on a machine with enough cores, the 4-process pool
+  at 32 clients must reach at least 3x the single-process req/s — the whole
+  point of the pre-fork tier.  On smaller boxes the gate records the core
+  count and passes trivially (the pool cannot beat the GIL with one core);
 - **peak traced memory** while a client consumes one large streamed request
   incrementally, against a one-shot in-process ``model.sample(n)`` of the
   same size — the HTTP tier must inherit the service's bounded-chunk
   property, not regress to materialising the request.
 
 Writes ``benchmarks/results/BENCH_serving_http.json`` and exits non-zero if
-any request fails, if smoke-mode p99 exceeds ``--p99-budget``, or if the
-streamed request's peak memory is not decisively below the one-shot peak.
+any request fails, if a scaling/memory gate fails, or if smoke-mode p99
+exceeds ``--p99-budget``.
 
 Usage::
 
@@ -27,6 +32,7 @@ from __future__ import annotations
 import argparse
 import io
 import json
+import os
 import sys
 import tempfile
 import threading
@@ -39,13 +45,17 @@ import numpy as np
 
 from repro.datasets import load_dataset
 from repro.models import VAE
-from repro.server import SynthesisHTTPServer
+from repro.server import SynthesisHTTPServer, WorkerPool
 from repro.serving import SynthesisService, save_artifact
 from repro.utils.logging import StructuredLogger
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving_http.json"
 
 REF = "vae-credit"
+
+#: Scaling tolerance: with P processes on C cores the pool should deliver at
+#: least this fraction of min(P, C) in speedup over single-process serving.
+SCALING_FRACTION = 0.75
 
 
 def build_artifact(root: Path, seed: int = 0) -> Path:
@@ -56,17 +66,51 @@ def build_artifact(root: Path, seed: int = 0) -> Path:
     return save_artifact(model, root / REF, name="bench-vae")
 
 
-def start_server(root: Path, workers: int):
-    # Access logs go to an in-memory buffer: the benchmark measures the
-    # serving path, and JSON lines on stderr would swamp the report.
-    service = SynthesisService(artifact_root=root)
-    server = SynthesisHTTPServer(
-        ("127.0.0.1", 0), service, workers=workers,
-        access_log=StructuredLogger(io.StringIO()),
-    )
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    return server, service, thread
+class ServerUnderTest:
+    """One serving configuration: in-process for 1, a pre-fork pool for N."""
+
+    def __init__(self, root: Path, processes: int, workers: int):
+        self.root = root
+        self.processes = processes
+        self.workers = workers
+        self._server = None
+        self._thread = None
+        self._pool = None
+        # Access logs go to an in-memory buffer: the benchmark measures the
+        # serving path, and JSON lines on stderr would swamp the report.
+        self._log = StructuredLogger(io.StringIO())
+
+    def start(self) -> "ServerUnderTest":
+        if self.processes == 1:
+            service = SynthesisService(artifact_root=self.root)
+            self._server = SynthesisHTTPServer(
+                ("127.0.0.1", 0), service, workers=self.workers,
+                access_log=self._log,
+            )
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True
+            )
+            self._thread.start()
+        else:
+            self._pool = WorkerPool(
+                ("127.0.0.1", 0),
+                lambda: SynthesisService(artifact_root=self.root),
+                self.processes,
+                server_kwargs={"workers": self.workers, "access_log": self._log},
+            ).start()
+        return self
+
+    @property
+    def port(self) -> int:
+        return self._server.port if self._server is not None else self._pool.port
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._thread.join(timeout=5)
+        if self._pool is not None:
+            self._pool.stop(graceful=False)
 
 
 def one_request(port: int, n_rows: int, seed: int, chunk_size: int) -> tuple:
@@ -82,17 +126,21 @@ def one_request(port: int, n_rows: int, seed: int, chunk_size: int) -> tuple:
     )
     started = time.perf_counter()
     received = 0
+    error = None
     try:
         with urlopen(request, timeout=120) as response:
             ok = response.status == 200
+            if not ok:
+                error = f"status {response.status}"
             while True:
                 piece = response.read(1 << 16)
                 if not piece:
                     break
                 received += len(piece)
-    except Exception:
+    except Exception as exc:
         ok = False
-    return time.perf_counter() - started, ok, received
+        error = f"{type(exc).__name__}: {exc}"
+    return time.perf_counter() - started, ok, received, error
 
 
 def run_load(port: int, concurrency: int, requests_per_client: int,
@@ -101,16 +149,18 @@ def run_load(port: int, concurrency: int, requests_per_client: int,
     streams back to back; latencies are per complete response."""
     latencies: list = []
     failures = [0]
+    failure_reasons: list = []
     lock = threading.Lock()
 
     def client(index: int) -> None:
         for request_index in range(requests_per_client):
             seed = index * 1000 + request_index
-            latency, ok, _ = one_request(port, n_rows, seed, chunk_size)
+            latency, ok, _, error = one_request(port, n_rows, seed, chunk_size)
             with lock:
                 latencies.append(latency)
                 if not ok:
                     failures[0] += 1
+                    failure_reasons.append(error)
 
     threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
     started = time.perf_counter()
@@ -125,6 +175,7 @@ def run_load(port: int, concurrency: int, requests_per_client: int,
         "requests": total,
         "rows_per_request": n_rows,
         "failures": failures[0],
+        "failure_reasons": failure_reasons,
         "duration_s": round(elapsed, 3),
         "requests_per_sec": round(total / elapsed, 1),
         "rows_per_sec": round(total * n_rows / elapsed, 1),
@@ -138,7 +189,7 @@ def measure_stream_memory(port: int, n_rows: int, chunk_size: int) -> dict:
     """Peak traced memory while consuming one large streamed request."""
     tracemalloc.start()
     started = time.perf_counter()
-    _, ok, received = one_request(port, n_rows, seed=7, chunk_size=chunk_size)
+    _, ok, received, _ = one_request(port, n_rows, seed=7, chunk_size=chunk_size)
     elapsed = time.perf_counter() - started
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -153,9 +204,9 @@ def measure_stream_memory(port: int, n_rows: int, chunk_size: int) -> dict:
     }
 
 
-def measure_oneshot_memory(service: SynthesisService, n_rows: int) -> dict:
+def measure_oneshot_memory(root: Path, n_rows: int) -> dict:
     """Peak traced memory of the materialised in-process baseline."""
-    model = service.get(REF)
+    model = SynthesisService(artifact_root=root).get(REF)
     tracemalloc.start()
     rows = len(model.sample(n_rows, rng=np.random.default_rng(7)))
     _, peak = tracemalloc.get_traced_memory()
@@ -168,6 +219,43 @@ def measure_oneshot_memory(service: SynthesisService, n_rows: int) -> dict:
     }
 
 
+def scaling_gate(sweep: list, cores: int) -> dict:
+    """Compare each pool's top-concurrency req/s against single-process.
+
+    The expected speedup is ``min(processes, cores)``; the gate requires
+    ``SCALING_FRACTION`` of it.  With fewer than 2 effective cores there is
+    nothing to scale onto, so the gate records itself as not applicable.
+    """
+    by_processes = {entry["processes"]: entry["load"] for entry in sweep}
+    baseline = by_processes.get(1)
+    report = {"cores": cores, "fraction": SCALING_FRACTION, "comparisons": []}
+    passed = True
+    for processes, load in sorted(by_processes.items()):
+        if processes == 1 or not baseline:
+            continue
+        top = max(load, key=lambda result: result["concurrency"])
+        reference = max(baseline, key=lambda result: result["concurrency"])
+        speedup = round(
+            top["requests_per_sec"] / max(reference["requests_per_sec"], 1e-9), 2
+        )
+        effective = min(processes, cores)
+        required = round(SCALING_FRACTION * effective, 2) if effective >= 2 else None
+        ok = True if required is None else speedup >= required
+        passed = passed and ok
+        report["comparisons"].append(
+            {
+                "processes": processes,
+                "concurrency": top["concurrency"],
+                "speedup": speedup,
+                "required": required,
+                "applicable": required is not None,
+                "ok": ok,
+            }
+        )
+    report["passed"] = passed
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -175,7 +263,10 @@ def main(argv=None) -> int:
     parser.add_argument("--p99-budget", type=float, default=5.0,
                         help="smoke gate: p99 latency bound in seconds")
     parser.add_argument("--workers", type=int, default=48,
-                        help="server worker cap (must exceed peak concurrency)")
+                        help="per-process worker cap (must exceed peak concurrency)")
+    parser.add_argument("--processes", default=None,
+                        help="comma-separated process counts to sweep "
+                             "(default: 1,2 smoke / 1,2,4 full)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -183,55 +274,78 @@ def main(argv=None) -> int:
         requests_per_client = {1: 8, 8: 2}
         n_rows, chunk_size = 500, 256
         memory_rows = 20_000
+        process_levels = (1, 2)
     else:
         levels = (1, 8, 32)
         requests_per_client = {1: 40, 8: 10, 32: 4}
         n_rows, chunk_size = 2000, 512
         memory_rows = 200_000
+        process_levels = (1, 2, 4)
+    if args.processes is not None:
+        process_levels = tuple(
+            int(part) for part in args.processes.split(",") if part.strip()
+        )
+    cores = os.cpu_count() or 1
 
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
         print("training benchmark artifact...")
         build_artifact(root)
-        server, service, thread = start_server(root, workers=args.workers)
-        print(f"server up on port {server.port} ({args.workers} workers)")
-        try:
-            load = []
-            for concurrency in levels:
-                result = run_load(
-                    server.port, concurrency, requests_per_client[concurrency],
-                    n_rows, chunk_size,
-                )
-                load.append(result)
-                print(f"  c={concurrency:<3} {result['requests_per_sec']:>7} req/s  "
-                      f"p50={result['p50_latency_ms']}ms  p99={result['p99_latency_ms']}ms  "
-                      f"failures={result['failures']}")
-            stream_memory = measure_stream_memory(server.port, memory_rows, chunk_size)
-            oneshot_memory = measure_oneshot_memory(service, memory_rows)
-            print(f"  memory: http stream of {memory_rows} rows peaks at "
-                  f"{stream_memory['peak_memory_mb']} MB vs one-shot "
-                  f"{oneshot_memory['peak_memory_mb']} MB")
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+        sweep = []
+        for processes in process_levels:
+            under_test = ServerUnderTest(root, processes, args.workers).start()
+            print(f"processes={processes} on port {under_test.port} "
+                  f"({args.workers} workers/process)")
+            try:
+                load = []
+                for concurrency in levels:
+                    result = run_load(
+                        under_test.port, concurrency,
+                        requests_per_client[concurrency], n_rows, chunk_size,
+                    )
+                    load.append(result)
+                    print(f"  c={concurrency:<3} {result['requests_per_sec']:>7} req/s  "
+                          f"p50={result['p50_latency_ms']}ms  "
+                          f"p99={result['p99_latency_ms']}ms  "
+                          f"failures={result['failures']}")
+                    for reason in result["failure_reasons"]:
+                        print(f"      failure: {reason}")
+                if processes == 1:
+                    stream_memory = measure_stream_memory(
+                        under_test.port, memory_rows, chunk_size
+                    )
+            finally:
+                under_test.stop()
+            sweep.append({"processes": processes, "load": load})
+        oneshot_memory = measure_oneshot_memory(root, memory_rows)
+        print(f"  memory: http stream of {memory_rows} rows peaks at "
+              f"{stream_memory['peak_memory_mb']} MB vs one-shot "
+              f"{oneshot_memory['peak_memory_mb']} MB")
 
-    failures = sum(result["failures"] for result in load)
+    failures = sum(
+        result["failures"] for entry in sweep for result in entry["load"]
+    )
+    scaling = scaling_gate(sweep, cores)
     gates = {
         "all_requests_ok": failures == 0 and stream_memory["ok"],
         "stream_memory_below_half_oneshot": (
             stream_memory["peak_memory_mb"] < oneshot_memory["peak_memory_mb"] / 2
         ),
+        "multi_process_scaling": scaling["passed"],
     }
     if args.smoke:
-        worst_p99 = max(result["p99_latency_ms"] for result in load)
+        worst_p99 = max(
+            result["p99_latency_ms"] for entry in sweep for result in entry["load"]
+        )
         gates["p99_within_budget"] = worst_p99 <= args.p99_budget * 1000
 
     payload = {
         "benchmark": "serving_http",
         "smoke": args.smoke,
         "workers": args.workers,
-        "load": load,
+        "cpu_count": cores,
+        "sweep": sweep,
+        "scaling": scaling,
         "memory": {"http_stream": stream_memory, "oneshot": oneshot_memory},
         "gates": gates,
     }
@@ -242,6 +356,14 @@ def main(argv=None) -> int:
     else:
         print(json.dumps(payload, indent=2))
 
+    for comparison in scaling["comparisons"]:
+        note = (
+            f"{comparison['speedup']}x vs required {comparison['required']}x"
+            if comparison["applicable"]
+            else f"{comparison['speedup']}x (n/a: {cores} core(s))"
+        )
+        print(f"scaling processes={comparison['processes']} "
+              f"@c={comparison['concurrency']}: {note}")
     for gate, passed in gates.items():
         print(f"gate {gate}: {'ok' if passed else 'FAILED'}")
     return 0 if all(gates.values()) else 1

@@ -40,6 +40,8 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_snapshots,
+    render_prometheus_snapshot,
     set_registry,
 )
 from repro.obs.trace import (
@@ -59,6 +61,8 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "get_registry",
     "set_registry",
+    "merge_snapshots",
+    "render_prometheus_snapshot",
     "Span",
     "Tracer",
     "get_tracer",

@@ -43,6 +43,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "merge_snapshots",
+    "render_prometheus_snapshot",
     "set_registry",
     "DEFAULT_LATENCY_BUCKETS",
 ]
@@ -393,6 +395,111 @@ class MetricsRegistry:
 
     def render_json(self) -> str:
         return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge registry :meth:`MetricsRegistry.snapshot` dumps across processes.
+
+    The pre-fork serving tier gives every worker its own registry; a
+    ``/metrics`` scrape lands on *one* worker, which collects its peers'
+    snapshots over the control channel and merges them here so the exposition
+    covers the whole pool.  Merge rules per family type:
+
+    - **counter** — values for the same label combination are summed;
+    - **gauge** — summed as well (in-flight requests, worker-slot occupancy,
+      and cache sizes are all per-worker quantities whose pool-wide reading
+      is the sum);
+    - **histogram** — per-bucket counts, ``sum``, and ``count`` are summed
+      (buckets are aligned by edge label; a family must use the same grid in
+      every worker, which registration guarantees for identical code).
+
+    A family name appearing with different types in two snapshots is a
+    programming error and raises, mirroring the registry's own registration
+    conflict check.
+    """
+    merged: dict = {}
+    order: Dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {"type": family["type"]}
+                order[name] = {}
+            elif target["type"] != family["type"]:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: seen as both "
+                    f"{target['type']!r} and {family['type']!r}"
+                )
+            series_by_labels = order[name]
+            for entry in family["series"]:
+                labels = entry.get("labels") or {}
+                key = tuple(sorted(labels.items()))
+                existing = series_by_labels.get(key)
+                if existing is None:
+                    if family["type"] == "histogram":
+                        series_by_labels[key] = {
+                            "labels": dict(labels),
+                            "buckets": dict(entry["buckets"]),
+                            "sum": entry["sum"],
+                            "count": entry["count"],
+                        }
+                    else:
+                        series_by_labels[key] = {
+                            "labels": dict(labels), "value": entry["value"]
+                        }
+                elif family["type"] == "histogram":
+                    buckets = existing["buckets"]
+                    for edge, count in entry["buckets"].items():
+                        buckets[edge] = buckets.get(edge, 0) + count
+                    existing["sum"] = round(existing["sum"] + entry["sum"], 6)
+                    existing["count"] += entry["count"]
+                else:
+                    existing["value"] += entry["value"]
+    for name, family in merged.items():
+        family["series"] = [order[name][key] for key in sorted(order[name])]
+    return merged
+
+
+def render_prometheus_snapshot(snapshot: dict, registry: Optional["MetricsRegistry"] = None) -> str:
+    """Prometheus text exposition rendered from a snapshot dict.
+
+    The live :meth:`MetricsRegistry.render_prometheus` reads its own
+    families; this renders the same format from a (possibly merged,
+    cross-process) :meth:`snapshot` dump instead.  ``registry`` — typically
+    the scraping worker's own — supplies ``# HELP`` text for families it
+    also has locally; snapshots themselves carry no help strings.
+    """
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        local = registry.get(name) if registry is not None else None
+        if local is not None and local.help:
+            lines.append(f"# HELP {name} {local.help}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for entry in family["series"]:
+            labels = entry.get("labels") or {}
+            pairs = [
+                f'{key}="{_escape_label(value)}"'
+                for key, value in labels.items()
+            ]
+            label_text = "{" + ",".join(pairs) + "}" if pairs else ""
+            if family["type"] == "histogram":
+                cumulative = 0
+                for edge_label, count in entry["buckets"].items():
+                    cumulative += count
+                    le = (
+                        "+Inf" if edge_label == "+Inf"
+                        else _format_value(float(edge_label))
+                    )
+                    bucket_pairs = pairs + [f'le="{le}"']
+                    lines.append(
+                        f"{name}_bucket{{{','.join(bucket_pairs)}}} {cumulative}"
+                    )
+                lines.append(f"{name}_sum{label_text} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{label_text} {entry['count']}")
+            else:
+                lines.append(f"{name}{label_text} {_format_value(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _format_value(value) -> str:

@@ -29,6 +29,8 @@ validation and artifact loading happen eagerly.
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -37,7 +39,13 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 import numpy as np
 
-from repro.obs import MetricsRegistry, get_registry, get_tracer
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    get_tracer,
+    merge_snapshots,
+    render_prometheus_snapshot,
+)
 from repro.serving.artifacts import ArtifactError
 from repro.serving.service import SynthesisService
 from repro.server.protocol import (
@@ -50,9 +58,20 @@ from repro.server.protocol import (
 )
 from repro.utils.logging import StructuredLogger
 
-__all__ = ["SynthesisHTTPServer", "ServerMetrics", "DEFAULT_MAX_ROWS"]
+__all__ = [
+    "SynthesisHTTPServer",
+    "ServerMetrics",
+    "DEFAULT_MAX_ROWS",
+    "WORKER_HEADER",
+    "merge_metrics_payloads",
+]
 
 DEFAULT_MAX_ROWS = 1_000_000
+
+#: Response header naming the process that served the request.  Always sent;
+#: with a pre-fork pool it is how clients (and the fault-injection tests)
+#: observe which worker a connection landed on.
+WORKER_HEADER = "X-Repro-Worker"
 
 #: Request bodies are small JSON objects; anything bigger is rejected before
 #: a byte of it is read.
@@ -99,6 +118,10 @@ class ServerMetrics:
     def start_request(self) -> None:
         self._in_flight.inc()
 
+    def in_flight(self) -> int:
+        """Requests currently inside ``_handle`` (the drain signal)."""
+        return int(self._in_flight.value())
+
     def finish_request(self, route: str, status: int, elapsed: float, rows: int = 0) -> None:
         self._in_flight.dec()
         self._requests.inc(route=route, status=str(status))
@@ -135,6 +158,67 @@ class ServerMetrics:
         }
 
 
+def _as_ref(cache_key: str, root) -> str:
+    path = PurePath(cache_key)
+    if root is not None:
+        try:
+            return str(path.relative_to(root))
+        except ValueError:
+            pass
+    return path.name
+
+
+def merge_metrics_payloads(payloads) -> dict:
+    """Merge per-worker ``/metrics`` JSON payloads into one pool-wide view.
+
+    Counters, gauges, and histogram buckets sum; ``max_rows`` is a shared
+    configuration value (identical across workers, merged with ``max`` for
+    robustness); the cache listing is the union of every worker's resident
+    refs.  The result keeps the exact PR-5 key shape, so a dashboard pointed
+    at a pooled server keeps working unchanged.
+    """
+    merged = {
+        "requests": {
+            "total": 0, "in_flight": 0, "rejected": 0,
+            "by_status": {}, "by_route": {},
+        },
+        "latency_seconds": {"buckets": {}, "sum": 0.0, "count": 0},
+        "rows_streamed": 0,
+        "workers": {"capacity": 0, "in_use": 0},
+        "max_rows": 0,
+        "cache": {"size": 0, "capacity": 0, "hits": 0, "misses": 0, "cached": set()},
+    }
+    for payload in payloads:
+        requests = payload["requests"]
+        target = merged["requests"]
+        target["total"] += requests["total"]
+        target["in_flight"] += requests["in_flight"]
+        target["rejected"] += requests["rejected"]
+        for field in ("by_status", "by_route"):
+            for key, count in requests[field].items():
+                target[field][key] = target[field].get(key, 0) + count
+        latency = payload["latency_seconds"]
+        buckets = merged["latency_seconds"]["buckets"]
+        for edge, count in latency["buckets"].items():
+            buckets[edge] = buckets.get(edge, 0) + count
+        merged["latency_seconds"]["sum"] = round(
+            merged["latency_seconds"]["sum"] + latency["sum"], 6
+        )
+        merged["latency_seconds"]["count"] += latency["count"]
+        merged["rows_streamed"] += payload["rows_streamed"]
+        merged["workers"]["capacity"] += payload["workers"]["capacity"]
+        merged["workers"]["in_use"] += payload["workers"]["in_use"]
+        merged["max_rows"] = max(merged["max_rows"], payload["max_rows"])
+        cache = payload["cache"]
+        for field in ("size", "capacity", "hits", "misses"):
+            merged["cache"][field] += cache[field]
+        merged["cache"]["cached"].update(cache["cached"])
+    merged["requests"]["by_status"] = dict(sorted(merged["requests"]["by_status"].items()))
+    merged["requests"]["by_route"] = dict(sorted(merged["requests"]["by_route"].items()))
+    merged["cache"]["cached"] = sorted(merged["cache"]["cached"])
+    return merged
+
+
 class SynthesisHTTPServer(ThreadingHTTPServer):
     """Threaded HTTP server over one shared :class:`SynthesisService`.
 
@@ -168,10 +252,19 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
         defaults to the process-wide registry (so one ``/metrics`` scrape
         sees the HTTP tier, the synthesis service, and any in-process
         training).  Tests pass a private registry for isolation.
+    listen_socket:
+        An already-bound, already-listening socket to adopt instead of
+        binding ``address`` — how the pre-fork pool (:mod:`repro.server.pool`)
+        hands every worker the supervisor's shared listening socket.  When
+        given, ``address`` is ignored.
     """
 
     daemon_threads = True
     allow_reuse_address = True
+    #: Accept-queue backlog sized to match ``max_connections``: the stdlib
+    #: default of 5 overflows (kernel resets the excess) when a connect burst
+    #: lands faster than the accept loop drains it under CPU contention.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -182,6 +275,7 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
         max_connections: int = 128,
         access_log: StructuredLogger = None,
         registry: MetricsRegistry = None,
+        listen_socket: socket.socket = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1; got {workers!r}")
@@ -191,12 +285,34 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
             raise ValueError(
                 f"max_connections ({max_connections!r}) must be >= workers ({workers!r})"
             )
-        super().__init__(tuple(address), _SynthesisRequestHandler)
+        if listen_socket is None:
+            super().__init__(tuple(address), _SynthesisRequestHandler)
+        else:
+            # Adopt the supervisor's socket: skip bind/activate entirely and
+            # replace the placeholder socket TCPServer.__init__ created.  The
+            # kernel then load-balances accept() across every worker sharing
+            # the descriptor.
+            super().__init__(
+                listen_socket.getsockname()[:2],
+                _SynthesisRequestHandler,
+                bind_and_activate=False,
+            )
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()[:2]
+            host, port = self.server_address
+            self.server_name = host
+            self.server_port = port
         self.service = service
         self.workers = int(workers)
         self.max_rows = int(max_rows)
         self.max_connections = int(max_connections)
         self.metrics = ServerMetrics(registry)
+        #: Set by the pre-fork pool: a :class:`repro.server.control.PoolPeers`
+        #: (anything with ``collect() -> list[dict]``).  When present,
+        #: ``/metrics`` merges every worker's counters into one pool-wide
+        #: exposition instead of reporting this process alone.
+        self.peers = None
         self.tracer = get_tracer()
         self.access_log = access_log if access_log is not None else StructuredLogger()
         self._connections = threading.BoundedSemaphore(self.max_connections)
@@ -249,6 +365,45 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
         with self._slots_lock:
             return self._slots_in_use
 
+    def metrics_payload(self) -> dict:
+        """The ``/metrics`` JSON payload for **this process** (sans registry).
+
+        Refreshes the scrape-time gauges (worker-slot occupancy, cache size)
+        on the registry so the JSON and Prometheus expositions agree, then
+        assembles the PR-5 top-level shape.  In pooled mode this is also what
+        each worker serves over the control channel for aggregation.
+        """
+        registry = self.metrics.registry
+        workers = registry.gauge(
+            "repro_http_worker_slots", "Synthesis worker slots", labels=("state",)
+        )
+        workers.set(self.workers, state="capacity")
+        workers.set(self.slots_in_use, state="in_use")
+        cache = self.service.cache_stats
+        cache_gauge = registry.gauge(
+            "repro_service_cache_models", "Models in the LRU cache", labels=("state",)
+        )
+        cache_gauge.set(cache["size"], state="size")
+        cache_gauge.set(cache["capacity"], state="capacity")
+        payload = self.metrics.snapshot()
+        payload["workers"] = {"capacity": self.workers, "in_use": self.slots_in_use}
+        payload["max_rows"] = self.max_rows
+        # The service keys its cache by resolved path; on the wire only
+        # root-relative refs are shown (absolute server paths are the
+        # operator's business, not the client's).
+        root = self.service.artifact_root
+        cache["cached"] = [_as_ref(key, root) for key in cache["cached"]]
+        payload["cache"] = cache
+        return payload
+
+    def control_payload(self) -> dict:
+        """What this worker serves over the pool's control channel."""
+        return {
+            "pid": os.getpid(),
+            "metrics": self.metrics_payload(),
+            "registry": self.metrics.registry.snapshot(),
+        }
+
     def next_request_seed(self) -> int:
         """A fresh server-side seed for an unseeded request.
 
@@ -292,6 +447,12 @@ class _SynthesisRequestHandler(BaseHTTPRequestHandler):
         # long I/O timeout for body reads and streamed writes.
         self.connection.settimeout(self.header_timeout)
         super().handle_one_request()
+
+    def send_response(self, code, message=None):
+        super().send_response(code, message)
+        # Every response names its serving process; under the pre-fork pool
+        # this is the only way a client can tell which worker it reached.
+        self.send_header(WORKER_HEADER, str(os.getpid()))
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         # BaseHTTPRequestHandler's default writes human text to stderr; route
@@ -519,53 +680,44 @@ class _SynthesisRequestHandler(BaseHTTPRequestHandler):
                 f"unknown metrics format {fmt!r}; expected 'json' or 'prometheus'",
             )
         registry = self.server.metrics.registry
-        # Scrape-time gauges: point-in-time values owned by the server/service
-        # objects, refreshed per scrape so both expositions agree.
-        workers = registry.gauge(
-            "repro_http_worker_slots", "Synthesis worker slots", labels=("state",)
-        )
-        workers.set(self.server.workers, state="capacity")
-        workers.set(self.server.slots_in_use, state="in_use")
-        cache = self.server.service.cache_stats
-        cache_gauge = registry.gauge(
-            "repro_service_cache_models", "Models in the LRU cache", labels=("state",)
-        )
-        cache_gauge.set(cache["size"], state="size")
-        cache_gauge.set(cache["capacity"], state="capacity")
+        if self.server.peers is None:
+            # Single process: this registry is the whole story.
+            if fmt == "prometheus":
+                self._send_body(
+                    200,
+                    registry.render_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                return 200
+            payload = self.server.metrics_payload()
+            # The full registry dump (service, training, profiling families)
+            # rides along under its own key; the PR-5 top-level keys stay
+            # untouched.
+            payload["registry"] = registry.snapshot()
+            self._send_json(200, payload)
+            return 200
+        # Pooled: whichever worker catches the scrape merges every worker's
+        # counters so the exposition covers the whole pool.  A peer that just
+        # died degrades the scrape to partial data rather than failing it.
+        entries = [self.server.control_payload()] + self.server.peers.collect()
+        merged_registry = merge_snapshots([entry["registry"] for entry in entries])
         if fmt == "prometheus":
             self._send_body(
                 200,
-                registry.render_prometheus().encode("utf-8"),
+                render_prometheus_snapshot(merged_registry, registry).encode("utf-8"),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
             return 200
-        payload = self.server.metrics.snapshot()
-        payload["workers"] = {
-            "capacity": self.server.workers,
-            "in_use": self.server.slots_in_use,
+        payload = merge_metrics_payloads([entry["metrics"] for entry in entries])
+        payload["registry"] = merged_registry
+        payload["pool"] = {
+            "processes": len(entries),
+            "workers": sorted(
+                entry["pid"] for entry in entries if entry.get("pid") is not None
+            ),
         }
-        payload["max_rows"] = self.server.max_rows
-        # The service keys its cache by resolved path; on the wire only
-        # root-relative refs are shown (absolute server paths are the
-        # operator's business, not the client's).
-        root = self.server.service.artifact_root
-        cache["cached"] = [self._as_ref(key, root) for key in cache["cached"]]
-        payload["cache"] = cache
-        # The full registry dump (service, training, profiling families) rides
-        # along under its own key; the PR-5 top-level keys stay untouched.
-        payload["registry"] = registry.snapshot()
         self._send_json(200, payload)
         return 200
-
-    @staticmethod
-    def _as_ref(cache_key: str, root) -> str:
-        path = PurePath(cache_key)
-        if root is not None:
-            try:
-                return str(path.relative_to(root))
-            except ValueError:
-                pass
-        return path.name
 
     def _do_models(self) -> int:
         service = self.server.service

@@ -53,7 +53,9 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import signal
 import sys
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -158,7 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000, help="0 picks an ephemeral port")
     serve.add_argument("--workers", type=int, default=8,
-                       help="max concurrent synthesis streams (excess gets 429)")
+                       help="max concurrent synthesis streams per process "
+                            "(excess gets 429)")
+    # default None -> os.cpu_count(), resolved in _cmd_serve
+    serve.add_argument("--processes", type=int, default=None,
+                       help="pre-forked server processes sharing the listening "
+                            "socket (default: CPU count; 1 = in-process server)")
     # default None -> repro.server.app.DEFAULT_MAX_ROWS, resolved in
     # _cmd_serve so the other subcommands never import the HTTP tier.
     serve.add_argument("--max-rows", type=int, default=None,
@@ -583,36 +590,89 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import DEFAULT_MAX_ROWS, SynthesisHTTPServer
+    from repro.server.pool import WorkerPool, default_processes, fork_available
 
     if not args.root.is_dir():
         raise ValueError(f"--root {args.root} is not a directory")
     max_rows = DEFAULT_MAX_ROWS if args.max_rows is None else args.max_rows
-    service = SynthesisService(
-        artifact_root=args.root, cache_size=args.cache_size, chunk_size=args.chunk_size
+    processes = default_processes() if args.processes is None else args.processes
+    if processes < 1:
+        raise ValueError(f"--processes must be >= 1; got {processes}")
+    if processes > 1 and not fork_available():
+        raise ValueError(
+            "--processes > 1 requires os.fork (POSIX); use --processes 1"
+        )
+
+    def make_service() -> SynthesisService:
+        return SynthesisService(
+            artifact_root=args.root,
+            cache_size=args.cache_size,
+            chunk_size=args.chunk_size,
+        )
+
+    service = make_service()
+    refs = service.available()
+
+    def banner(port: int) -> None:
+        print(f"serving {len(refs)} artifact(s) from {args.root} "
+              f"on http://{args.host}:{port} "
+              f"({processes} process(es) x {args.workers} workers, "
+              f"max {max_rows} rows/request)")
+        for ref in refs:
+            print(f"  /v1/models/{ref}")
+
+    if processes == 1:
+        try:
+            server = SynthesisHTTPServer(
+                (args.host, args.port), service, workers=args.workers,
+                max_rows=max_rows, max_connections=args.max_connections,
+            )
+        except OSError as error:
+            # EADDRINUSE / EACCES and friends: the CLI's error envelope, not a
+            # traceback.
+            raise ValueError(
+                f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
+            ) from error
+        banner(server.port)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.server_close()
+        return 0
+
+    pool = WorkerPool(
+        (args.host, args.port),
+        make_service,
+        processes,
+        server_kwargs={
+            "workers": args.workers,
+            "max_rows": max_rows,
+            "max_connections": args.max_connections,
+        },
     )
     try:
-        server = SynthesisHTTPServer(
-            (args.host, args.port), service, workers=args.workers,
-            max_rows=max_rows, max_connections=args.max_connections,
-        )
+        pool.start()
     except OSError as error:
-        # EADDRINUSE / EACCES and friends: the CLI's error envelope, not a
-        # traceback.
         raise ValueError(
             f"cannot bind {args.host}:{args.port}: {error.strerror or error}"
         ) from error
-    refs = service.available()
-    print(f"serving {len(refs)} artifact(s) from {args.root} "
-          f"on http://{args.host}:{server.port} "
-          f"({args.workers} workers, max {max_rows} rows/request)")
-    for ref in refs:
-        print(f"  /v1/models/{ref}")
+    banner(pool.port)
+    # The supervisor parks here; SIGTERM/^C fall through to the graceful
+    # stop, which drains every worker before the listening socket closes.
+    stop_requested = threading.Event()
+    previous = [
+        signal.signal(signal.SIGTERM, lambda *_: stop_requested.set()),
+        signal.signal(signal.SIGINT, lambda *_: stop_requested.set()),
+    ]
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+        stop_requested.wait()
         print("shutting down")
     finally:
-        server.server_close()
+        signal.signal(signal.SIGTERM, previous[0])
+        signal.signal(signal.SIGINT, previous[1])
+        pool.stop(graceful=True)
     return 0
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import Future
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -54,10 +55,13 @@ class SynthesisService:
     **Concurrency contract.**  One service instance may be shared across
     threads (the HTTP tier in :mod:`repro.server` does exactly that): the
     registry, the LRU model cache, the transformer cache, and the hit/miss
-    counters are guarded by a single reentrant lock, so concurrent ``get``
-    calls on a cold artifact load it exactly once (a cache miss holds the
-    lock through ``load_artifact``, serialising cold loads; hits only touch
-    the lock briefly).  *Seeded* streams are then safe to draw concurrently —
+    counters are guarded by a single reentrant lock, and cold loads run
+    through **per-key load futures** — the lock is only ever held for map
+    mutation, never through ``load_artifact``.  N threads racing on one cold
+    key perform exactly one load (the losers wait on the winner's future and
+    share its model or its error); cold loads for *distinct* keys proceed
+    concurrently; and a cache hit never waits behind any cold load.
+    *Seeded* streams are then safe to draw concurrently —
     each request owns its own :class:`numpy.random.Generator` and the models'
     ``sample(n, rng=...)`` path only reads fitted state.  Unseeded streams
     (``seed=None``) fall back to the model's internal generator, which is
@@ -76,6 +80,7 @@ class SynthesisService:
         self._lock = threading.RLock()
         self._registry: dict = {}
         self._cache: OrderedDict = OrderedDict()
+        self._loads: dict = {}  # key -> Future of an in-flight cold load
         self._transformers: dict = {}
         self._hits = 0
         self._misses = 0
@@ -129,7 +134,14 @@ class SynthesisService:
         return path
 
     def get(self, ref):
-        """Return the loaded model for ``ref``, loading through the LRU cache."""
+        """Return the loaded model for ``ref``, loading through the LRU cache.
+
+        Cold loads run under a **per-key future**, not the service lock: the
+        first thread to miss becomes the loader, concurrent threads on the
+        same key wait on its future (one load, shared result *and* shared
+        failure), and threads on other keys — hits and distinct cold loads
+        alike — are never blocked by it.
+        """
         key = str(self.resolve(ref))
         with self._lock:
             if key in self._cache:
@@ -137,17 +149,40 @@ class SynthesisService:
                 self._cache_events.inc(event="hit")
                 self._cache.move_to_end(key)
                 return self._cache[key]
-            self._misses += 1
-            self._cache_events.inc(event="miss")
+            future = self._loads.get(key)
+            if future is None:
+                future = self._loads[key] = Future()
+                loader = True
+                self._misses += 1
+                self._cache_events.inc(event="miss")
+            else:
+                # Joining an in-flight load: the model is already on its way
+                # into memory, so this counts as a hit — and crucially the
+                # wait below happens *outside* the lock.
+                loader = False
+                self._hits += 1
+                self._cache_events.inc(event="hit")
+        if not loader:
+            return future.result()
+        try:
             load_started = time.perf_counter()
             model = load_artifact(key)
             self._load_seconds.observe(time.perf_counter() - load_started)
+        except BaseException as error:
+            with self._lock:
+                self._loads.pop(key, None)
+            future.set_exception(error)
+            raise
+        with self._lock:
+            self._loads.pop(key, None)
             self._cache[key] = model
+            self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 evicted, _ = self._cache.popitem(last=False)
                 self._transformers.pop(evicted, None)
                 self._cache_events.inc(event="eviction")
-            return model
+        future.set_result(model)
+        return model
 
     def transformer(self, ref):
         """The artifact's fitted preprocessing pipeline (``None`` if absent).

@@ -5,7 +5,13 @@ import threading
 
 import pytest
 
-from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    render_prometheus_snapshot,
+    set_registry,
+)
 from repro.obs.registry import DEFAULT_LATENCY_BUCKETS
 
 
@@ -222,3 +228,110 @@ class TestDisableSwitch:
         finally:
             set_registry(previous)
         assert get_registry() is original
+
+
+class TestMergeSnapshots:
+    """Cross-process aggregation for the pre-fork pool: one snapshot per
+    worker in, one pool-wide snapshot out."""
+
+    def _worker(self, requests, in_flight, latencies):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", labels=("route",))
+        for route, count in requests.items():
+            counter.inc(count, route=route)
+        registry.gauge("in_flight").set(in_flight)
+        histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        for value in latencies:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_counters_sum_per_label_combination(self):
+        merged = merge_snapshots(
+            [
+                self._worker({"sample": 3, "models": 1}, 0, []),
+                self._worker({"sample": 2}, 0, []),
+            ]
+        )
+        series = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in merged["requests_total"]["series"]
+        }
+        assert series == {(("route", "models"),): 1, (("route", "sample"),): 5}
+
+    def test_gauges_sum_because_they_are_per_worker_quantities(self):
+        merged = merge_snapshots(
+            [self._worker({}, 2, []), self._worker({}, 1, []), self._worker({}, 0, [])]
+        )
+        assert merged["in_flight"]["series"] == [{"labels": {}, "value": 3}]
+
+    def test_histograms_sum_buckets_sum_and_count(self):
+        merged = merge_snapshots(
+            [
+                self._worker({}, 0, [0.05, 0.5]),
+                self._worker({}, 0, [0.5, 5.0]),
+            ]
+        )
+        entry = merged["latency_seconds"]["series"][0]
+        assert entry["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 1}
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(6.05)
+
+    def test_families_missing_from_some_workers_still_merge(self):
+        lonely = MetricsRegistry()
+        lonely.counter("only_here_total").inc(7)
+        merged = merge_snapshots([self._worker({"sample": 1}, 0, []), lonely.snapshot()])
+        assert merged["only_here_total"]["series"] == [{"labels": {}, "value": 7}]
+        assert "requests_total" in merged
+
+    def test_single_snapshot_merges_to_itself(self):
+        snapshot = self._worker({"sample": 2}, 1, [0.2])
+        assert merge_snapshots([snapshot]) == snapshot
+
+    def test_type_conflicts_raise(self):
+        a = MetricsRegistry()
+        a.counter("m").inc()
+        b = MetricsRegistry()
+        b.gauge("m").set(1)
+        with pytest.raises(ValueError, match="cannot merge metric 'm'"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+class TestRenderPrometheusSnapshot:
+    def test_renders_merged_snapshot_with_cumulative_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        b = MetricsRegistry()
+        b.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = render_prometheus_snapshot(merge_snapshots([a.snapshot(), b.snapshot()]))
+        lines = text.splitlines()
+        assert "# TYPE h_seconds histogram" in lines
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 2' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 2' in lines
+        assert "h_seconds_count 2" in lines
+
+    def test_help_text_comes_from_the_local_registry(self):
+        local = MetricsRegistry()
+        local.counter("c_total", "what c counts").inc(2)
+        remote = MetricsRegistry()
+        remote.counter("c_total", "what c counts").inc(3)
+        merged = merge_snapshots([local.snapshot(), remote.snapshot()])
+        with_help = render_prometheus_snapshot(merged, registry=local)
+        assert "# HELP c_total what c counts" in with_help
+        assert "c_total 5" in with_help
+        # Without a registry the exposition is still valid, just help-less.
+        without = render_prometheus_snapshot(merged)
+        assert "# HELP" not in without
+        assert "c_total 5" in without
+
+    def test_matches_the_live_renderer_for_a_single_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "requests", labels=("route",)).inc(
+            4, route="sample"
+        )
+        registry.gauge("g", "a gauge").set(2.5)
+        registry.histogram("h", "a histogram", buckets=(1.0,)).observe(0.3)
+        assert (
+            render_prometheus_snapshot(registry.snapshot(), registry=registry)
+            == registry.render_prometheus()
+        )

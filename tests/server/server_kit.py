@@ -5,7 +5,7 @@ import io
 import threading
 from contextlib import contextmanager
 
-from repro.server import ServingClient, SynthesisHTTPServer
+from repro.server import ServingClient, SynthesisHTTPServer, WorkerPool
 from repro.serving import SynthesisService
 from repro.serving.registry import get_model_spec
 from repro.utils.logging import StructuredLogger
@@ -58,3 +58,35 @@ def serve_root(root, *, service_kwargs=None, **server_kwargs):
         server.shutdown()
         server.server_close()
         thread.join(timeout=5)
+
+
+@contextmanager
+def serve_pool(
+    root, processes=2, *, service_kwargs=None, pool_kwargs=None, **server_kwargs
+):
+    """Run a pre-fork :class:`WorkerPool` over ``root`` for the block's duration.
+
+    Yields ``(pool, client, service)``; ``service`` is a supervisor-side
+    in-process reference (its own cache, never shared with the workers) for
+    byte-conformance comparisons.
+    """
+    kwargs = dict(service_kwargs or {})
+
+    def make_service():
+        return SynthesisService(artifact_root=root, **kwargs)
+
+    server_kwargs.setdefault("access_log", StructuredLogger(io.StringIO()))
+    pool = WorkerPool(
+        ("127.0.0.1", 0),
+        make_service,
+        processes,
+        server_kwargs=server_kwargs,
+        **(pool_kwargs or {}),
+    )
+    pool.start()
+    client = ServingClient(port=pool.port)
+    try:
+        client.wait_until_ready(attempts=100, delay=0.1)
+        yield pool, client, make_service()
+    finally:
+        pool.stop(graceful=False)

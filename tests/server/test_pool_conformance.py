@@ -1,0 +1,168 @@
+"""Pre-fork pool conformance: N processes serve the same bytes as one.
+
+The pool changes the process model, never the wire: a seeded request must
+produce **bit-identical** bodies whether it is answered by the in-process
+:class:`SynthesisService`, the single-process PR-5 server, or any of the
+pool's forked workers — serially or under 32-way parallel fire.  The
+aggregated ``/metrics`` must remain a superset of the single-process
+exposition, with pool-wide totals.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.server import WORKER_HEADER
+from repro.serving.registry import registered_synthesizers
+from server_kit import serve_pool, serve_root
+
+N, SEED, CHUNK = 37, 11, 16
+PROCESSES = 4
+# Per-process synthesis slots.  The kernel's accept() load balancing is not
+# exact, so give every worker enough slots that 32-way parallel fire cannot
+# 429 even if one worker catches most of the connections.
+WORKERS = 32
+
+MODELS = registered_synthesizers()
+
+
+@pytest.fixture(scope="module")
+def pooled(mixed_artifact_root):
+    with serve_pool(
+        mixed_artifact_root, processes=PROCESSES, workers=WORKERS
+    ) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def single(mixed_artifact_root):
+    """The PR-5 single-process server over the same root: the byte reference."""
+    with serve_root(mixed_artifact_root, workers=4) as running:
+        yield running
+
+
+class TestPooledBytes:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_ndjson_bytes_match_single_process_server(self, pooled, single, name):
+        _, pool_client, _ = pooled
+        _, single_client, _ = single
+        got = pool_client.sample_raw(name, N, seed=SEED, chunk_size=CHUNK)
+        reference = single_client.sample_raw(name, N, seed=SEED, chunk_size=CHUNK)
+        assert got == reference
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_csv_bytes_match_single_process_server(self, pooled, single, name):
+        _, pool_client, _ = pooled
+        _, single_client, _ = single
+        got = pool_client.sample_raw(
+            name, N, seed=SEED, chunk_size=CHUNK, fmt="csv", labeled=True
+        )
+        reference = single_client.sample_raw(
+            name, N, seed=SEED, chunk_size=CHUNK, fmt="csv", labeled=True
+        )
+        assert got == reference
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_model_space_matches_in_process_service(self, pooled, name):
+        _, client, service = pooled
+        got = client.sample(name, N, seed=SEED, chunk_size=CHUNK, model_space=True)
+        reference = service.sample(name, N, seed=SEED, chunk_size=CHUNK)
+        arr = np.array(got, dtype=np.float64)
+        assert arr.shape == reference.shape
+        assert np.array_equal(arr, reference)
+
+
+class TestParallelDeterminism:
+    def test_32_parallel_seeded_requests_equal_32_serial(self, pooled):
+        _, client, _ = pooled
+        body = json.dumps(
+            {"n_samples": 64, "seed": 9, "chunk_size": 16, "model_space": True}
+        ).encode("utf-8")
+
+        def fire(_):
+            status, headers, data = client.request(
+                "POST", "/v1/models/vae/sample", body
+            )
+            assert status == 200
+            return headers.get(WORKER_HEADER), data
+
+        serial = [fire(i) for i in range(32)]
+        with ThreadPoolExecutor(max_workers=32) as executor:
+            parallel = list(executor.map(fire, range(32)))
+
+        reference = serial[0][1]
+        assert all(data == reference for _, data in serial)
+        assert all(data == reference for _, data in parallel)
+        # The kernel load-balanced 32 simultaneous connections across the
+        # pool: more than one worker pid must have answered.
+        pids = {pid for pid, _ in parallel if pid}
+        assert len(pids) >= 2
+
+    def test_every_response_names_its_worker(self, pooled):
+        pool, client, _ = pooled
+        status, headers, _ = client.request("GET", "/healthz")
+        assert status == 200
+        assert int(headers[WORKER_HEADER]) in pool.worker_pids
+
+
+class TestAggregatedMetrics:
+    def test_json_payload_is_superset_of_single_process_shape(self, pooled, single):
+        _, pool_client, _ = pooled
+        _, single_client, _ = single
+        pool_client.sample("vae", 3, seed=0)
+        merged = pool_client.metrics()
+        reference = single_client.metrics()
+        assert set(merged) >= set(reference)
+        for section in ("requests", "latency_seconds", "workers", "cache"):
+            assert set(merged[section]) >= set(reference[section])
+
+    def test_pool_section_reports_every_worker(self, pooled):
+        pool, client, _ = pooled
+        payload = client.metrics()
+        assert payload["pool"]["processes"] == PROCESSES
+        assert payload["pool"]["workers"] == sorted(pool.worker_pids)
+
+    def test_requests_total_counts_whole_pool_traffic(self, pooled):
+        _, client, _ = pooled
+        before = client.metrics()["requests"]["total"]
+        extra = 8
+        with ThreadPoolExecutor(max_workers=extra) as executor:
+            list(
+                executor.map(
+                    lambda _: client.sample("vae", 2, seed=1), range(extra)
+                )
+            )
+        after = client.metrics()["requests"]["total"]
+        # Every request lands in the aggregate no matter which worker served
+        # it (the two scrapes themselves add at least one more).
+        assert after >= before + extra
+
+    def test_prometheus_exposition_merges_worker_registries(self, pooled):
+        pool, client, _ = pooled
+        client.sample("vae", 3, seed=0)
+        status, headers, body = client.request("GET", "/metrics?format=prometheus")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "repro_service_cache_events_total" in text
+        # Worker capacity is summed across the pool, proving the scrape saw
+        # more than the answering process.
+        for line in text.splitlines():
+            if line.startswith("repro_http_worker_slots") and 'state="capacity"' in line:
+                assert float(line.rsplit(" ", 1)[1]) == float(WORKERS * PROCESSES)
+                break
+        else:
+            pytest.fail("repro_http_worker_slots capacity series missing")
+
+    def test_registry_key_carries_merged_snapshot(self, pooled):
+        _, client, _ = pooled
+        client.sample("vae", 2, seed=3)
+        registry = client.metrics()["registry"]
+        assert "repro_http_requests_total" in registry
+        family = registry["repro_http_requests_total"]
+        assert family["type"] == "counter"
+        total = sum(series["value"] for series in family["series"])
+        assert total >= client.metrics()["requests"]["total"] - 1

@@ -1,0 +1,125 @@
+"""PR-6 regressions pinned under the pooled path: holdout replay + category snap.
+
+A ``privbayes`` artifact trained by the CLI from a labelled CSV whose ``dose``
+feature is a *declared* integer-categorical column (``[0, 5, 10]`` — the
+exact shape of the ``_CategoryCodec.encode`` nearest-snap regression) is
+served by a two-process pool.  Every HTTP row must carry a snapped dose
+value, seeded pooled responses must match the in-process service, and
+``python -m repro evaluate`` must score the artifact on the fold recorded at
+training time — the multi-process tier changes none of it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving.cli import main
+from repro.transforms import ColumnSchema, TableSchema, write_csv
+from server_kit import serve_pool
+
+DOSE_LEVELS = (0, 5, 10)
+REF = "dose-privbayes"
+N_ROWS = 300
+
+
+@pytest.fixture(scope="module")
+def trained_root(tmp_path_factory):
+    """An artifact root holding one CSV-trained privbayes model.
+
+    Returns ``(root, artifact_dir, csv_path, feature_names)``.
+    """
+    base = tmp_path_factory.mktemp("pool-csv")
+    rng = np.random.default_rng(17)
+    dose = rng.choice(DOSE_LEVELS, size=N_ROWS)
+    x0 = np.round(dose / 10.0 + 0.1 * rng.normal(size=N_ROWS), 4)
+    x1 = np.round(rng.uniform(size=N_ROWS), 4)
+    label = np.where(dose + 2 * rng.normal(size=N_ROWS) > 5, "yes", "no")
+    rows = np.empty((N_ROWS, 4), dtype=object)
+    rows[:, 0] = x0
+    rows[:, 1] = x1
+    rows[:, 2] = dose
+    rows[:, 3] = label
+    names = ["x0", "x1", "dose", "y"]
+    csv_path = base / "doses.csv"
+    write_csv(csv_path, rows, names=names)
+    # Integer-coded categories infer as numeric; the declared schema is what
+    # routes `dose` through the categorical codec whose snap we are pinning.
+    schema_path = base / "schema.json"
+    TableSchema(
+        [
+            ColumnSchema("x0", "numeric"),
+            ColumnSchema("x1", "numeric"),
+            ColumnSchema("dose", "categorical", categories=DOSE_LEVELS),
+        ]
+    ).to_json(schema_path)
+    root = base / "artifacts"
+    root.mkdir()
+    assert main(
+        [
+            "train", "--model", "privbayes", "--data", str(csv_path),
+            "--schema", str(schema_path), "--label", "y", "--epsilon", "3.0",
+            "--output", str(root / REF), "--seed", "0",
+        ]
+    ) == 0
+    return root, root / REF, csv_path, ["x0", "x1", "dose"]
+
+
+@pytest.fixture(scope="module")
+def pooled(trained_root):
+    root = trained_root[0]
+    with serve_pool(root, processes=2) as running:
+        yield running
+
+
+class TestArtifact:
+    def test_manifest_records_holdout_and_declared_categories(self, trained_root):
+        _, artifact, _, _ = trained_root
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        assert manifest["metadata"]["holdout"] == {
+            "test_size": 0.1, "stratify": True, "seed": 0,
+        }
+        assert manifest["metadata"]["rows"] == N_ROWS
+        columns = {
+            column["name"]: column
+            for column in manifest["transformer"]["schema"]["columns"]
+        }
+        assert columns["dose"]["kind"] == "categorical"
+        assert columns["dose"]["categories"] == list(DOSE_LEVELS)
+
+
+class TestPooledRows:
+    def test_http_rows_snap_to_declared_dose_levels(self, pooled, trained_root):
+        _, client, _ = pooled
+        feature_names = trained_root[3]
+        rows = client.sample(REF, 50, seed=3)
+        assert all(len(row) == len(feature_names) for row in rows)
+        dose_index = feature_names.index("dose")
+        doses = {row[dose_index] for row in rows}
+        assert doses  # decoded values, not raw model-space floats
+        assert doses <= set(DOSE_LEVELS)
+
+    def test_pooled_rows_match_the_in_process_service(self, pooled):
+        _, client, service = pooled
+        got = client.sample(REF, 23, seed=5, chunk_size=8)
+        reference = np.vstack(
+            list(service.stream(REF, 23, seed=5, chunk_size=8, original_space=True))
+        )
+        assert np.array_equal(
+            np.array(got, dtype=object), np.array(reference, dtype=object)
+        )
+
+    def test_seeded_pooled_responses_are_reproducible_bytes(self, pooled):
+        _, client, _ = pooled
+        first = client.sample_raw(REF, 31, seed=9, chunk_size=7, fmt="csv")
+        second = client.sample_raw(REF, 31, seed=9, chunk_size=7, fmt="csv")
+        assert first == second
+
+
+class TestEvaluate:
+    def test_cli_evaluate_scores_the_recorded_fold(self, pooled, trained_root, capsys):
+        # `pooled` is requested on purpose: the evaluation runs while the
+        # pool is live, exactly the operator flow the issue pins.
+        _, artifact, _, _ = trained_root
+        assert main(["evaluate", "--artifact", str(artifact)]) == 0
+        assert "auroc" in capsys.readouterr().out

@@ -234,3 +234,133 @@ class TestConcurrencyContract:
             thread.join()
         for got, want in zip(results, serial):
             assert np.array_equal(got, want)
+
+
+class TestLoadFutures:
+    """The per-key load-future refactor: cold loads serialize per key, not
+    per service — a slow load on one ref must never block traffic on another."""
+
+    def _gate_loads(self, monkeypatch, blocked_ref: str):
+        """Patch load_artifact so loads of ``blocked_ref`` park on an event.
+
+        Returns ``(started, release, calls)``: ``started`` fires when the
+        blocked load begins, ``release`` lets it finish, ``calls`` counts
+        every load.
+        """
+        import repro.serving.service as service_module
+
+        real = service_module.load_artifact
+        started, release = threading.Event(), threading.Event()
+        calls = []
+
+        def gated(path):
+            calls.append(path)
+            if str(path).endswith(blocked_ref):
+                started.set()
+                assert release.wait(timeout=30), "gated load was never released"
+            return real(path)
+
+        monkeypatch.setattr(service_module, "load_artifact", gated)
+        return started, release, calls
+
+    def test_slow_cold_load_does_not_block_hits_on_other_keys(
+        self, artifact_root, monkeypatch
+    ):
+        import time
+
+        service = SynthesisService(artifact_root=artifact_root, cache_size=2)
+        warm = service.get("pgm")  # resident before the slow load begins
+        started, release, _ = self._gate_loads(monkeypatch, blocked_ref="vae")
+
+        loader = threading.Thread(target=service.get, args=("vae",))
+        loader.start()
+        try:
+            assert started.wait(timeout=10)
+            # The cold load is parked inside load_artifact right now; a cache
+            # hit on the other key must come back immediately — the map lock
+            # is only held for bookkeeping, never through a load.
+            began = time.perf_counter()
+            assert service.get("pgm") is warm
+            elapsed = time.perf_counter() - began
+            assert loader.is_alive()  # the slow load really was in flight
+            assert elapsed < 2.0
+        finally:
+            release.set()
+            loader.join(timeout=30)
+        assert not loader.is_alive()
+
+    def test_distinct_cold_keys_load_concurrently(self, artifact_root, monkeypatch):
+        import repro.serving.service as service_module
+
+        real = service_module.load_artifact
+        rendezvous = threading.Barrier(2, timeout=15)
+
+        def meeting(path):
+            # Both cold loads must be inside load_artifact at the same time;
+            # lock-through-load would deadlock this barrier (and time out).
+            rendezvous.wait()
+            return real(path)
+
+        monkeypatch.setattr(service_module, "load_artifact", meeting)
+        service = SynthesisService(artifact_root=artifact_root, cache_size=2)
+        results = {}
+        threads = [
+            threading.Thread(target=lambda r=ref: results.update({r: service.get(r)}))
+            for ref in ("vae", "pgm")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not rendezvous.broken
+        assert set(results) == {"vae", "pgm"}
+        assert service.cache_stats["misses"] == 2
+
+    def test_eviction_during_in_flight_load_stays_consistent(
+        self, artifact_root, monkeypatch
+    ):
+        # Size-1 cache: while vae's load is parked, pgm loads and occupies the
+        # only slot; vae's insert then evicts pgm.  Every stat stays exact.
+        started, release, calls = self._gate_loads(monkeypatch, blocked_ref="vae")
+        service = SynthesisService(artifact_root=artifact_root, cache_size=1)
+
+        loaded = {}
+        loader = threading.Thread(
+            target=lambda: loaded.update(vae=service.get("vae"))
+        )
+        loader.start()
+        try:
+            assert started.wait(timeout=10)
+            service.get("pgm")  # fills the slot mid-load
+        finally:
+            release.set()
+            loader.join(timeout=30)
+
+        stats = service.cache_stats
+        assert stats["size"] == 1
+        assert stats["misses"] == 2
+        assert len(calls) == 2
+        assert [key.rsplit("/", 1)[-1] for key in stats["cached"]] == ["vae"]
+        # The in-flight load's result is served from cache afterwards.
+        assert service.get("vae") is loaded["vae"]
+        assert service.cache_stats["hits"] == 1
+
+    def test_failed_load_does_not_poison_the_key(self, artifact_root, monkeypatch):
+        import repro.serving.service as service_module
+
+        real = service_module.load_artifact
+        failures = [RuntimeError("transient artifact store hiccup")]
+
+        def flaky(path):
+            if failures:
+                raise failures.pop()
+            return real(path)
+
+        monkeypatch.setattr(service_module, "load_artifact", flaky)
+        service = SynthesisService(artifact_root=artifact_root, cache_size=2)
+        with pytest.raises(RuntimeError, match="hiccup"):
+            service.get("vae")
+        # The failed future is discarded: the next get retries the load
+        # instead of replaying a cached exception forever.
+        assert service.get("vae") is service.get("vae")
+        assert service.cache_stats["misses"] == 2
