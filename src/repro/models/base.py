@@ -19,10 +19,42 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import Tensor, no_grad
+from repro.nn import inference
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_array, check_n_samples
 
-__all__ = ["GenerativeModel", "LabelEncodingMixin", "pack_state", "unpack_state"]
+__all__ = [
+    "GenerativeModel",
+    "LabelEncodingMixin",
+    "decode_rows",
+    "pack_state",
+    "unpack_state",
+]
+
+
+def decode_rows(decoder, latent: np.ndarray, decoder_type: str) -> np.ndarray:
+    """Run a fitted decoder over latent rows on the fastest available path.
+
+    The fused tape-free plan (:mod:`repro.nn.inference`) is used when enabled
+    and the decoder compiles — cached per decoder instance, so every
+    ``load_state_dict`` (which rebuilds the networks) invalidates it — with
+    the Bernoulli output clip folded into the same pass.  Otherwise the
+    original autograd forward runs under ``no_grad``, clipping **in place**
+    on the tape output (it is a fresh array the caller owns) instead of
+    paying one more full-size copy.  Both paths return bit-identical rows.
+    """
+    if inference.fused_enabled():
+        plan = inference.compiled_plan(
+            decoder, epilogue="clip01" if decoder_type == "bernoulli" else None
+        )
+        if plan is not None:
+            return plan(latent)
+    with no_grad():
+        decoded = decoder(Tensor(latent)).data
+    if decoder_type == "bernoulli":
+        np.clip(decoded, 0.0, 1.0, out=decoded)
+    return decoded
 
 
 def pack_state(prefix: str, state: dict) -> dict:
@@ -142,9 +174,48 @@ class LabelEncodingMixin:
 
     def _label_scores(self, rows: np.ndarray) -> np.ndarray:
         """Per-class activation summed over the replicated label block."""
-        width = self._label_block_width()
-        block = rows[:, -width:]
-        return block.reshape(len(rows), self._label_repeat, self._n_classes).sum(axis=1)
+        return inference.label_scores(
+            np.asarray(rows), self._n_classes, self._label_repeat
+        )
+
+    def _label_columns(self) -> np.ndarray:
+        """Column index of every class's replicated one-hot slot, cached.
+
+        Shape ``(n_classes, label_repeat)``: row ``c`` lists the columns that
+        carry a one for class ``c`` across the block's repeats.  Computed once
+        per fitted layout (keyed on the label/feature widths, so refitting or
+        reloading with a different shape rebuilds it) instead of re-deriving
+        the block on every call.
+        """
+        key = (self._n_classes, self._label_repeat, int(self.n_input_features_))
+        cached = getattr(self, "_label_columns_cache", None)
+        if cached is None or cached[0] != key:
+            feature_width = key[2] - self._label_block_width()
+            columns = (
+                feature_width
+                + np.arange(self._label_repeat)[None, :] * self._n_classes
+                + np.arange(self._n_classes)[:, None]
+            )
+            cached = (key, columns)
+            self._label_columns_cache = cached
+        return cached[1]
+
+    def _with_label_block(self, X: np.ndarray, y) -> np.ndarray:
+        """``X`` with the replicated one-hot block for ``y``, filled in place.
+
+        One output allocation: features are copied in, the block columns are
+        zeroed, and each row's class slots are scattered to one through the
+        precomputed :meth:`_label_columns` layout — no per-call ``np.zeros``
+        + ``np.tile`` + ``np.hstack`` temporaries.  Values are identical to
+        the historical rebuild.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        data = np.empty((len(X), int(self.n_input_features_)))
+        data[:, : X.shape[1]] = X
+        data[:, X.shape[1]:] = 0.0
+        indices = np.searchsorted(self._classes, np.asarray(y))
+        data[np.arange(len(X))[:, None], self._label_columns()[indices]] = 1.0
+        return data
 
     def _split_labels(self, rows: np.ndarray):
         """Split generated rows back into ``(features, labels)``."""

@@ -28,7 +28,13 @@ from repro.decomposition import PCA
 from repro.engine import EpochHook, HistoryLogger, MetricsCallback, Trainer, make_sampler
 from repro.mixture import GaussianMixture
 from repro.mixture.kl import kl_gaussian_to_mog
-from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
+from repro.models.base import (
+    GenerativeModel,
+    LabelEncodingMixin,
+    decode_rows,
+    pack_state,
+    unpack_state,
+)
 from repro.nn import MLP, Adam, Tensor, no_grad
 from repro.nn import functional as F
 from repro.utils.logging import TrainingHistory
@@ -269,10 +275,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
         if self._n_classes and data.shape[1] == self.n_feature_columns:
             if y is None:
                 raise ValueError("model was trained with labels; pass y as well")
-            onehot = np.zeros((len(data), self._n_classes))
-            indices = np.searchsorted(self._classes, np.asarray(y))
-            onehot[np.arange(len(data)), indices] = 1.0
-            data = np.hstack([data, np.tile(onehot, (1, self._label_repeat))])
+            data = self._with_label_block(data, y)
         projected = self._project(data)
         with no_grad():
             reconstruction, _ = self._per_example_loss(data, projected)
@@ -284,9 +287,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
         self._check_fitted()
         rng = self._rng if rng is None else as_generator(rng)
         latent, _ = self.prior.sample(n_samples, rng=rng)
-        with no_grad():
-            decoded = self.decoder(Tensor(latent)).data
-        return np.clip(decoded, 0.0, 1.0) if self.decoder_type == "bernoulli" else decoded
+        return decode_rows(self.decoder, latent, self.decoder_type)
 
     def privacy_spent(self) -> tuple:
         return (float("inf"), 0.0)

@@ -15,7 +15,13 @@ from typing import Optional
 import numpy as np
 
 from repro.engine import EpochHook, HistoryLogger, MetricsCallback, Trainer, make_sampler
-from repro.models.base import GenerativeModel, LabelEncodingMixin, pack_state, unpack_state
+from repro.models.base import (
+    GenerativeModel,
+    LabelEncodingMixin,
+    decode_rows,
+    pack_state,
+    unpack_state,
+)
 from repro.nn import MLP, Adam, Tensor, no_grad
 from repro.nn import functional as F
 from repro.utils.logging import TrainingHistory
@@ -171,10 +177,7 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         if self._n_classes and data.shape[1] == self.n_feature_columns:
             if y is None:
                 raise ValueError("model was trained with labels; pass y as well")
-            onehot = np.zeros((len(data), self._n_classes))
-            indices = np.searchsorted(self._classes, np.asarray(y))
-            onehot[np.arange(len(data)), indices] = 1.0
-            data = np.hstack([data, np.tile(onehot, (1, self._label_repeat))])
+            data = self._with_label_block(data, y)
         with no_grad():
             reconstruction, _ = self._per_example_loss(data)
         return float(reconstruction.data.mean())
@@ -187,9 +190,7 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         self._check_fitted()
         rng = self._rng if rng is None else as_generator(rng)
         latent = self._sample_latent(n_samples, rng)
-        with no_grad():
-            decoded = self.decoder(Tensor(latent)).data
-        return np.clip(decoded, 0.0, 1.0) if self.decoder_type == "bernoulli" else decoded
+        return decode_rows(self.decoder, latent, self.decoder_type)
 
     def _sample_latent(self, n_samples: int, rng) -> np.ndarray:
         return rng.normal(size=(n_samples, self.latent_dim))

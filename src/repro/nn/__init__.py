@@ -7,7 +7,7 @@ optimizers (:mod:`repro.nn.optim`), plus per-example gradient capture needed
 by DP-SGD.
 """
 
-from repro.nn import functional
+from repro.nn import functional, inference
 from repro.nn.autograd import (
     Tensor,
     grad_sample_mode,
@@ -27,10 +27,25 @@ from repro.nn.layers import (
     Softplus,
     Tanh,
 )
+from repro.nn.inference import (
+    CompiledForward,
+    CompileError,
+    compile_inference,
+    compiled_plan,
+    fused_enabled,
+    fused_inference,
+)
 from repro.nn.optim import SGD, Adam, Optimizer
 
 __all__ = [
     "Tensor",
+    "inference",
+    "CompileError",
+    "CompiledForward",
+    "compile_inference",
+    "compiled_plan",
+    "fused_enabled",
+    "fused_inference",
     "no_grad",
     "grad_sample_mode",
     "is_grad_enabled",

@@ -176,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=4, help="LRU model cache size")
     serve.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                        help="default rows per streamed chunk (the memory bound)")
+    serve.add_argument("--micro-batch", action="store_true",
+                       help="coalesce concurrent small same-artifact requests "
+                            "into one scheduled decoder pass (byte-identical "
+                            "responses, per-request seeds preserved)")
 
     obs = subparsers.add_parser(
         "obs", help="inspect metrics snapshots and trace timing trees"
@@ -626,6 +630,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server = SynthesisHTTPServer(
                 (args.host, args.port), service, workers=args.workers,
                 max_rows=max_rows, max_connections=args.max_connections,
+                micro_batch=args.micro_batch,
             )
         except OSError as error:
             # EADDRINUSE / EACCES and friends: the CLI's error envelope, not a
@@ -650,6 +655,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "max_rows": max_rows,
             "max_connections": args.max_connections,
+            "micro_batch": args.micro_batch,
         },
     )
     try:

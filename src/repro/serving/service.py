@@ -9,6 +9,12 @@ dense array — peak memory is governed by ``chunk_size``, not ``n``.
 Per-request seeds make draws reproducible: the same artifact, seed, and chunk
 size always produce the same rows, independent of what other requests the
 service has served before.
+
+Sampling decodes through the fused inference fast path by default
+(:mod:`repro.nn.inference`): compiled plans are cached weakly per decoder
+module, so they ride the LRU entries here — evicting a model drops its plan,
+and a reloaded artifact compiles a fresh one — and a streamed request reuses
+one set of preallocated buffers across all of its equally-sized chunks.
 """
 
 from __future__ import annotations

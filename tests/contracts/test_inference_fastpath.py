@@ -1,0 +1,242 @@
+"""The fused-inference fast-path contract, asserted for every registered model.
+
+The compiled tape-free decoder path (:mod:`repro.nn.inference`) promises
+**bit-identity** with the autograd tape, not mere closeness.  This suite pins
+that promise end to end, registry-driven like the rest of the contract kit:
+
+- seeded ``sample`` / ``sample_labeled`` are byte-equal with the fused path
+  on and off, for every registered synthesizer;
+- the identity holds through a released artifact (``save -> load -> sample``);
+- it holds over HTTP: NDJSON and CSV response bodies are identical whether
+  the server decodes through the tape (``REPRO_FUSED_INFERENCE=0``) or the
+  fused plans (the default);
+- a ``--micro-batch`` server returns byte-identical bodies to an unbatched
+  one under 16 concurrent mixed-size requests with distinct seeds, and the
+  occupancy histogram accounts for every coalesced request.
+"""
+
+import io
+import json
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from contract_kit import tiny_model
+from repro.nn.inference import compiled_plan, fused_inference
+from repro.obs import MetricsRegistry
+from repro.server import ServingClient, SynthesisHTTPServer
+from repro.serving import SynthesisService
+from repro.serving.artifacts import load_artifact, save_artifact
+from repro.serving.registry import registered_synthesizers
+from repro.utils.logging import StructuredLogger
+
+ALL_MODELS = registered_synthesizers()
+
+
+def _tape_sample(model, n, seed):
+    with fused_inference(False):
+        return model.sample(n, rng=np.random.default_rng(seed))
+
+
+def _fused_sample(model, n, seed):
+    with fused_inference(True):
+        return model.sample(n, rng=np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+@pytest.mark.parametrize("n_samples", [1, 97])
+def test_fused_sample_is_bit_identical_to_tape(
+    name, n_samples, fitted_contract_models
+):
+    model = fitted_contract_models[name]
+    tape = _tape_sample(model, n_samples, seed=11)
+    fused = _fused_sample(model, n_samples, seed=11)
+    assert tape.dtype == fused.dtype and tape.shape == fused.shape
+    # tobytes() equality is stricter than array_equal: it distinguishes
+    # -0.0 from +0.0, the classic fused-kernel divergence.
+    assert tape.tobytes() == fused.tobytes()
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_fused_sample_labeled_is_bit_identical_to_tape(
+    name, fitted_contract_models
+):
+    model = fitted_contract_models[name]
+    with fused_inference(False):
+        X_tape, y_tape = model.sample_labeled(
+            41, rng=np.random.default_rng(5), generation_rng=np.random.default_rng(7)
+        )
+    with fused_inference(True):
+        X_fused, y_fused = model.sample_labeled(
+            41, rng=np.random.default_rng(5), generation_rng=np.random.default_rng(7)
+        )
+    assert X_tape.tobytes() == X_fused.tobytes()
+    assert np.array_equal(y_tape, y_fused)
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_identity_holds_through_released_artifact(
+    name, fitted_contract_models, tmp_path
+):
+    path = save_artifact(fitted_contract_models[name], tmp_path / name)
+    clone = load_artifact(path)
+    tape = _tape_sample(clone, 53, seed=3)
+    fused = _fused_sample(clone, 53, seed=3)
+    assert tape.tobytes() == fused.tobytes()
+    # And the loaded model agrees with the original fitted one.
+    assert fused.tobytes() == _fused_sample(fitted_contract_models[name], 53, 3).tobytes()
+
+
+def test_load_state_dict_invalidates_the_compiled_plan(fitted_contract_models):
+    model = fitted_contract_models["vae"]
+    _fused_sample(model, 5, seed=1)  # materialise a plan for the decoder
+    plan_before = compiled_plan(model.decoder)
+    assert plan_before is not None
+    model.load_state_dict(model.state_dict())
+    # load_state_dict rebuilds the decoder module, so the stale plan cannot
+    # be reached; the fresh decoder compiles its own.
+    _fused_sample(model, 5, seed=1)
+    assert compiled_plan(model.decoder) is not plan_before
+
+
+# ----------------------------------------------------------------------------------
+# Over HTTP
+# ----------------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fastpath_artifact_root(tmp_path_factory, fitted_contract_models):
+    """Every registered synthesizer, released (model space, no transformer)."""
+    root = tmp_path_factory.mktemp("fastpath-artifacts")
+    for name in ALL_MODELS:
+        save_artifact(fitted_contract_models[name], root / name, name=name)
+    return root
+
+
+@contextmanager
+def _serve(root, **server_kwargs):
+    service = SynthesisService(artifact_root=root)
+    server = SynthesisHTTPServer(
+        ("127.0.0.1", 0),
+        service,
+        access_log=StructuredLogger(io.StringIO()),
+        **server_kwargs,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, ServingClient(port=server.port)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _fetch(client, ref, payload, labeled=False):
+    action = "sample_labeled" if labeled else "sample"
+    status, _, body = client.request(
+        "POST", f"/v1/models/{ref}/{action}", json.dumps(payload).encode()
+    )
+    assert status == 200, body
+    return body
+
+
+@pytest.mark.parametrize("fmt", ["ndjson", "csv"])
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_http_bodies_identical_fused_vs_tape(
+    name, fmt, fastpath_artifact_root, monkeypatch
+):
+    payload = {"n_samples": 64, "seed": 9, "format": fmt}
+    with _serve(fastpath_artifact_root, registry=MetricsRegistry()) as (_, client):
+        monkeypatch.setenv("REPRO_FUSED_INFERENCE", "0")
+        tape = _fetch(client, name, payload)
+        tape_labeled = _fetch(client, name, payload, labeled=True)
+        monkeypatch.delenv("REPRO_FUSED_INFERENCE")
+        fused = _fetch(client, name, payload)
+        fused_labeled = _fetch(client, name, payload, labeled=True)
+    assert tape == fused
+    assert tape_labeled == fused_labeled
+
+
+# ----------------------------------------------------------------------------------
+# Micro-batching
+# ----------------------------------------------------------------------------------
+
+#: 16 concurrent mixed-size requests: (ref suffix, n_samples, seed, labeled).
+MICROBATCH_REQUESTS = [
+    ("vae", 1, 100, False),
+    ("vae", 3, 101, False),
+    ("vae", 17, 102, False),
+    ("vae", 64, 103, False),
+    ("vae", 113, 104, False),
+    ("vae", 256, 105, False),
+    ("vae", 7, 106, True),
+    ("vae", 33, 107, True),
+    ("vae", 90, 108, True),
+    ("vae", 201, 109, True),
+    ("pgm", 5, 110, False),
+    ("pgm", 48, 111, False),
+    ("pgm", 130, 112, False),
+    ("pgm", 21, 113, True),
+    ("pgm", 77, 114, True),
+    ("pgm", 300, 115, False),
+]
+
+
+def test_microbatched_bodies_identical_to_solo(fastpath_artifact_root):
+    def run_all(client, concurrent):
+        results = [None] * len(MICROBATCH_REQUESTS)
+
+        def fetch(index, ref, n, seed, labeled):
+            results[index] = _fetch(
+                client, ref, {"n_samples": n, "seed": seed}, labeled=labeled
+            )
+
+        if not concurrent:
+            for index, spec in enumerate(MICROBATCH_REQUESTS):
+                fetch(index, *spec)
+            return results
+        threads = [
+            threading.Thread(target=fetch, args=(index, *spec))
+            for index, spec in enumerate(MICROBATCH_REQUESTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        return results
+
+    with _serve(fastpath_artifact_root, registry=MetricsRegistry()) as (_, client):
+        solo = run_all(client, concurrent=False)
+
+    registry = MetricsRegistry()
+    with _serve(
+        fastpath_artifact_root, micro_batch=True, workers=16, registry=registry
+    ) as (server, client):
+        batched = run_all(client, concurrent=True)
+        occupancy = server.micro_batcher._occupancy.snapshot()
+
+    for spec, solo_body, batched_body in zip(MICROBATCH_REQUESTS, solo, batched):
+        assert batched_body is not None, spec
+        assert solo_body == batched_body, spec
+    # Every request routed through the batcher exactly once: the sum of
+    # sweep occupancies is the total coalesced request count.
+    assert occupancy["sum"] == len(MICROBATCH_REQUESTS)
+    assert 1 <= occupancy["count"] <= len(MICROBATCH_REQUESTS)
+
+
+def test_microbatch_skips_multi_chunk_requests(fastpath_artifact_root):
+    # A request larger than its chunk size streams normally (memory bound),
+    # and the bytes still match a non-batched server's.
+    payload = {"n_samples": 200, "seed": 42, "chunk_size": 32}
+    with _serve(fastpath_artifact_root, registry=MetricsRegistry()) as (_, client):
+        solo = _fetch(client, "vae", payload)
+    with _serve(
+        fastpath_artifact_root, micro_batch=True, registry=MetricsRegistry()
+    ) as (server, client):
+        batched = _fetch(client, "vae", payload)
+        occupancy = server.micro_batcher._occupancy.snapshot()
+    assert solo == batched
+    assert occupancy["count"] == 0  # never entered the batcher
