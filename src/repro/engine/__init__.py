@@ -20,6 +20,13 @@ aggregation, optimizer stepping, and callback dispatch.  The pieces:
   mode that runs the backward pass inside
   :func:`repro.nn.grad_sample_mode` and drives
   :class:`repro.privacy.DPSGD`.
+- :mod:`repro.engine.checkpoint` — mid-training checkpoints (model +
+  optimizer + callback + RNG state through the artifact archive layout) with
+  ``Trainer.fit(..., resume_from=...)`` restoring them bit-identically, and
+  :class:`CheckpointableMixin` wiring for the models.
+- :mod:`repro.engine.data_parallel` — fork-pool sharded optimizer steps for
+  non-private and Poisson-subsampled DP-SGD training; per-example clipping
+  happens in the workers, so the privacy accounting is unchanged.
 
 **Sampler choice vs. accounting assumptions.**  The subsampled-Gaussian RDP
 accountant used by :class:`repro.privacy.DPSGD` (and by
@@ -41,6 +48,17 @@ from repro.engine.callbacks import (
     MetricsCallback,
     PrivacyBudgetTracker,
 )
+from repro.engine.checkpoint import (
+    Checkpoint,
+    CheckpointCallback,
+    CheckpointError,
+    CheckpointableMixin,
+    latest_checkpoint,
+    load_checkpoint,
+    restore_trainer_state,
+    save_checkpoint,
+)
+from repro.engine.data_parallel import DataParallelExecutor, fork_available
 from repro.engine.samplers import BatchSampler, PoissonSampler, ShuffleSampler, make_sampler
 from repro.engine.trainer import Trainer
 
@@ -55,5 +73,15 @@ __all__ = [
     "EarlyStopping",
     "EpochHook",
     "MetricsCallback",
+    "Checkpoint",
+    "CheckpointCallback",
+    "CheckpointError",
+    "CheckpointableMixin",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "restore_trainer_state",
+    "save_checkpoint",
+    "DataParallelExecutor",
+    "fork_available",
     "Trainer",
 ]

@@ -10,9 +10,12 @@ writes the record into ``model.history``.
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from typing import Optional
+
+import numpy as np
 
 from repro.utils.validation import check_positive
 
@@ -27,7 +30,15 @@ __all__ = [
 
 
 class Callback:
-    """Base class: override any subset of the hooks."""
+    """Base class: override any subset of the hooks.
+
+    Callbacks that accumulate state across epochs (``EarlyStopping``'s plateau
+    counter, ``HistoryLogger``'s records) additionally implement the
+    ``state_dict``/``load_state_dict`` pair so a training checkpoint can
+    restore them; the trainer restores callback state *after* dispatching
+    ``on_train_begin``, so a fresh-run reset in that hook never clobbers a
+    resumed run's state.
+    """
 
     def on_train_begin(self, trainer, model) -> None:
         """Called once before the first epoch."""
@@ -41,6 +52,18 @@ class Callback:
     def on_train_end(self, trainer, model) -> None:
         """Called once after the final epoch (also after an early stop)."""
 
+    def state_dict(self, trainer, model) -> dict:
+        """Resumable state as plain numpy arrays (``{}`` for stateless hooks)."""
+        return {}
+
+    def load_state_dict(self, trainer, model, state: dict) -> None:
+        """Restore a state produced by :meth:`state_dict` on the same class."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the checkpoint carries "
+                f"callback entries: {sorted(state)}"
+            )
+
 
 class HistoryLogger(Callback):
     """Persist the per-epoch ``logs`` record into a training history.
@@ -52,9 +75,25 @@ class HistoryLogger(Callback):
     def __init__(self, history=None):
         self.history = history
 
+    def _resolve(self, model):
+        return self.history if self.history is not None else model.history
+
     def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
-        history = self.history if self.history is not None else model.history
-        history.log(**logs)
+        self._resolve(model).log(**logs)
+
+    def state_dict(self, trainer, model) -> dict:
+        # Records are plain dicts of ints/floats; JSON round-trips both exactly
+        # (including NaN epochs), and the string form stores as a unicode npz
+        # array without pickling.
+        return {"records": np.asarray(json.dumps(self._resolve(model).records))}
+
+    def load_state_dict(self, trainer, model, state: dict) -> None:
+        if set(state) != {"records"}:
+            raise ValueError(
+                f"HistoryLogger state must hold exactly 'records', got {sorted(state)}"
+            )
+        history = self._resolve(model)
+        history.records[:] = json.loads(str(state["records"]))
 
 
 class PrivacyBudgetTracker(Callback):
@@ -97,9 +136,21 @@ class EarlyStopping(Callback):
         self.wait = 0
         self.stopped_epoch: Optional[int] = None
 
+    def on_train_begin(self, trainer, model) -> None:
+        # One callback instance may drive several fits; a stale best/wait from
+        # a previous run would otherwise stop the new run against the old
+        # loss scale.  (Resume restores the checkpointed state after this.)
+        self.best = None
+        self.wait = 0
+        self.stopped_epoch = None
+
     def on_epoch_end(self, trainer, model, epoch: int, logs: dict) -> None:
         current = logs.get(self.monitor)
-        if current is None:
+        if current is None or not math.isfinite(current):
+            # An all-empty-Poisson epoch logs NaN losses.  NaN compares false
+            # with everything, so letting it become `best` would make every
+            # later epoch look like "no improvement" and force a stop after
+            # `patience` epochs regardless of the real loss trend.
             return
         if self.best is None or current < self.best - self.min_delta:
             self.best = float(current)
@@ -109,6 +160,30 @@ class EarlyStopping(Callback):
         if self.wait >= self.patience:
             self.stopped_epoch = epoch
             trainer.stop_training = True
+
+    def state_dict(self, trainer, model) -> dict:
+        return {
+            # NaN marks "no finite value seen yet": the monitor skips
+            # non-finite values above, so NaN can never be a real `best`.
+            "best": np.asarray(float("nan") if self.best is None else self.best),
+            "wait": np.asarray(self.wait),
+            "stopped_epoch": np.asarray(
+                -1 if self.stopped_epoch is None else self.stopped_epoch
+            ),
+        }
+
+    def load_state_dict(self, trainer, model, state: dict) -> None:
+        expected = {"best", "wait", "stopped_epoch"}
+        if set(state) != expected:
+            raise ValueError(
+                f"EarlyStopping state mismatch: checkpoint has {sorted(state)}, "
+                f"expected {sorted(expected)}"
+            )
+        best = float(state["best"])
+        self.best = None if math.isnan(best) else best
+        self.wait = int(state["wait"])
+        stopped = int(state["stopped_epoch"])
+        self.stopped_epoch = None if stopped < 0 else stopped
 
 
 class MetricsCallback(Callback):

@@ -1,0 +1,228 @@
+"""Process-pool data-parallel training steps.
+
+The executor forks a pool of workers that inherit the training closure (the
+model's ``loss_fn`` and parameter objects) at creation time.  Each optimizer
+step ships every worker the current flat parameter vector plus its shard of
+the batch indices; the worker runs forward/backward on its shard and returns a
+flat gradient contribution:
+
+- **private mode** — the worker computes per-example gradients inside
+  :func:`repro.nn.grad_sample_mode`, clips each of *its* examples' full
+  gradients to ``max_grad_norm``, and returns the summed clipped gradients.
+  Clipping is per-example, so sharding the batch changes nothing about the
+  released quantity: the parent sums the shard contributions, draws **one**
+  Gaussian noise vector from the optimizer's own generator
+  (:meth:`repro.privacy.DPSGD.step_from_clipped`), and the privacy accounting
+  is exactly the serial accounting.
+- **non-private mode** — the worker returns the gradient of its shard's
+  summed loss; the parent divides the pooled sum by the batch size, recovering
+  the batch-mean gradient the serial path optimises.
+
+Worker stochasticity (the models' reparameterisation noise) is reseeded per
+task from ``SeedSequence((base_seed, step, shard))``, which makes a parallel
+run deterministic for a fixed ``(seed, n_workers)`` — including across a
+checkpoint resume — and keeps shard noise independent rather than N copies of
+the fork-time stream.  Parallel runs are *not* bit-identical to serial runs
+(float summation order and noise consumption differ); the contract is
+identical privacy accounting and deterministic parallel replay.
+
+Requires the ``fork`` start method (the closure is inherited, never pickled);
+:func:`fork_available` gates callers on platforms without it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from repro.nn import grad_sample_mode
+from repro.privacy.clipping import per_example_scale_factors
+
+__all__ = ["DataParallelExecutor", "StepResult", "fork_available", "unflatten"]
+
+# Worker-side module global: set once by the pool initializer (inherited
+# through fork, so the closure and parameter objects are never pickled).
+_CONTEXT = None
+
+
+def fork_available() -> bool:
+    """Whether this platform supports fork-based pools (Linux/BSD: yes)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def unflatten(flat: np.ndarray, params) -> list:
+    """Split a flat gradient vector back into per-parameter arrays."""
+    grads, offset = [], 0
+    for p in params:
+        grads.append(flat[offset : offset + p.size].reshape(p.shape))
+        offset += p.size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat gradient has {flat.size} entries, parameters expect {offset}"
+        )
+    return grads
+
+
+class StepResult(NamedTuple):
+    """Pooled result of one data-parallel step."""
+
+    grad_sum: np.ndarray  # flat sum over the batch (clipped per-example in private mode)
+    squared_norms: Optional[np.ndarray]  # per-example grad norms^2 (private mode only)
+    recon_sum: float
+    kl_sum: float
+
+
+class _WorkerContext:
+    def __init__(self, loss_fn, params, private, max_grad_norm, model_rng):
+        self.loss_fn = loss_fn
+        self.params = params
+        self.private = private
+        self.max_grad_norm = max_grad_norm
+        self.model_rng = model_rng
+
+
+def _init_worker(context) -> None:
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def _set_flat_params(params, flat_params: np.ndarray) -> None:
+    offset = 0
+    for p in params:
+        p.data = flat_params[offset : offset + p.size].reshape(p.shape).copy()
+        offset += p.size
+
+
+def _run_shard(task):
+    flat_params, index, seed = task
+    context = _CONTEXT
+    _set_flat_params(context.params, flat_params)
+    if context.model_rng is not None:
+        # Replace the inherited stream in place: the loss closure holds the
+        # same generator object, so reparameterisation noise in this worker
+        # comes from the shard's own deterministic stream.
+        context.model_rng.bit_generator.state = np.random.default_rng(
+            seed
+        ).bit_generator.state
+    if context.private:
+        with grad_sample_mode():
+            reconstruction, kl = context.loss_fn(index)
+            (reconstruction + kl).sum().backward()
+        squared_norms = None
+        for p in context.params:
+            contribution = p.grad_sample_sq_norms()
+            squared_norms = (
+                contribution if squared_norms is None else squared_norms + contribution
+            )
+        scale = per_example_scale_factors(squared_norms, context.max_grad_norm)
+        flat = np.concatenate([p.clipped_grad_sum(scale).ravel() for p in context.params])
+    else:
+        for p in context.params:
+            p.zero_grad()
+        reconstruction, kl = context.loss_fn(index)
+        (reconstruction + kl).sum().backward()
+        flat = np.concatenate(
+            [
+                (np.zeros(p.size) if p.grad is None else np.asarray(p.grad).ravel())
+                for p in context.params
+            ]
+        )
+        squared_norms = None
+    for p in context.params:
+        p.zero_grad()
+    return flat, squared_norms, float(reconstruction.data.sum()), float(kl.data.sum())
+
+
+def _shard_seed(base_seed: int, step: int, shard: int) -> int:
+    return int(np.random.SeedSequence((base_seed, step, shard)).generate_state(1)[0])
+
+
+class DataParallelExecutor:
+    """A fork pool executing sharded optimizer steps for one training run.
+
+    Parameters
+    ----------
+    loss_fn:
+        The trainer's ``loss_fn(index) -> (reconstruction, kl)`` closure;
+        inherited by the workers at fork time.
+    params:
+        The live parameter list being optimised (shipped flat, every step).
+    n_workers:
+        Pool size (≥ 2; a single worker is just the serial path with overhead).
+    private:
+        When true, workers clip per-example gradients and the result carries
+        ``squared_norms`` for :meth:`repro.privacy.DPSGD.step_from_clipped`.
+    max_grad_norm:
+        Clipping bound ``C`` (required in private mode).
+    model_rng:
+        The generator the loss closure draws stochasticity from; reseeded per
+        shard task.
+    base_seed:
+        Root of the deterministic per-(step, shard) seed derivation.
+    """
+
+    def __init__(
+        self,
+        loss_fn,
+        params,
+        n_workers: int,
+        private: bool = False,
+        max_grad_norm: Optional[float] = None,
+        model_rng=None,
+        base_seed: int = 0,
+    ):
+        if not fork_available():
+            raise RuntimeError(
+                "data-parallel training requires the 'fork' start method, "
+                "which this platform does not support"
+            )
+        if int(n_workers) < 2:
+            raise ValueError(f"n_workers must be >= 2, got {n_workers}")
+        if private and max_grad_norm is None:
+            raise ValueError("private data-parallel steps require max_grad_norm")
+        self.params = list(params)
+        self.n_workers = int(n_workers)
+        self.base_seed = int(base_seed)
+        context = _WorkerContext(
+            loss_fn, self.params, bool(private), max_grad_norm, model_rng
+        )
+        self._pool = multiprocessing.get_context("fork").Pool(
+            self.n_workers, initializer=_init_worker, initargs=(context,)
+        )
+
+    def run_step(self, index: np.ndarray, step: int) -> StepResult:
+        """Execute one sharded forward/backward; returns pooled gradients."""
+        index = np.asarray(index)
+        if len(index) == 0:
+            raise ValueError("cannot run a data-parallel step on an empty batch")
+        n_shards = min(self.n_workers, len(index))
+        shards = [shard for shard in np.array_split(index, n_shards) if len(shard)]
+        flat_params = np.concatenate([p.data.ravel() for p in self.params])
+        tasks = [
+            (flat_params, shard, _shard_seed(self.base_seed, step, i))
+            for i, shard in enumerate(shards)
+        ]
+        results = self._pool.map(_run_shard, tasks)
+        # map() preserves task order, so the summation order — and therefore
+        # the floating-point result — is deterministic for a fixed pool size.
+        grad_sum = results[0][0].copy()
+        for flat, _, _, _ in results[1:]:
+            grad_sum += flat
+        squared_norms = None
+        if results[0][1] is not None:
+            squared_norms = np.concatenate([r[1] for r in results])
+        recon_sum = sum(r[2] for r in results)
+        kl_sum = sum(r[3] for r in results)
+        return StepResult(grad_sum, squared_norms, recon_sum, kl_sum)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "DataParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -16,11 +16,13 @@ expected batch size).
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.samplers import BatchSampler
+from repro.engine.checkpoint import Checkpoint, load_checkpoint, restore_trainer_state
+from repro.engine.data_parallel import DataParallelExecutor, unflatten
+from repro.engine.samplers import BatchSampler, PoissonSampler
 from repro.nn import grad_sample_mode
 from repro.utils.rng import as_generator
 
@@ -71,59 +73,132 @@ class Trainer:
         #: Set by callbacks (e.g. EarlyStopping) to end training after the
         #: current epoch.
         self.stop_training = False
+        #: Progress counters: the epoch currently (or next) being run and the
+        #: number of optimizer steps taken; both are checkpointed and restored.
+        self.epoch = 0
+        self.global_step = 0
+        self._executor: Optional[DataParallelExecutor] = None
 
-    def fit(self, n_samples: int, epochs: int, loss_fn: Callable[[np.ndarray], Tuple]) -> "Trainer":
-        """Run ``epochs`` passes of ``loss_fn`` over ``n_samples`` records."""
+    def fit(
+        self,
+        n_samples: int,
+        epochs: int,
+        loss_fn: Callable[[np.ndarray], Tuple],
+        resume_from=None,
+        n_workers: int = 1,
+    ) -> "Trainer":
+        """Run ``epochs`` passes of ``loss_fn`` over ``n_samples`` records.
+
+        Parameters
+        ----------
+        resume_from:
+            A checkpoint directory (or loaded :class:`.Checkpoint`) written by
+            :class:`repro.engine.CheckpointCallback`.  The trainer restores
+            parameters, optimizer buffers, callback state, progress counters,
+            and the sampler RNG, then continues from the checkpointed epoch —
+            bit-identically to the uninterrupted run.  ``None`` trains from
+            scratch.
+        n_workers:
+            With ``n_workers > 1``, each step's forward/backward is sharded
+            across a fork-based process pool
+            (:class:`repro.engine.DataParallelExecutor`); privacy accounting
+            is unchanged because clipping stays per-example.
+        """
         if n_samples is None or int(n_samples) < 1:
             raise ValueError(
                 f"cannot train on an empty dataset: got n_samples={n_samples}; "
                 "fit() requires at least one sample"
             )
         n_samples = int(n_samples)
+        n_workers = int(n_workers)
         self.stop_training = False
-        step = 0
+        self.epoch = 0
+        self.global_step = 0
         for callback in self.callbacks:
             callback.on_train_begin(self, self.model)
-        for epoch in range(epochs):
-            epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
-            for index in self.sampler.epoch_batches(n_samples, self.rng):
-                if len(index) == 0:
-                    # A Poisson draw can be empty; there is no gradient to
-                    # release, so the step is skipped (strictly less is
-                    # released than the accountant budgeted for).
-                    continue
-                recon, kl = self._train_step(index, loss_fn)
-                epoch_recon += recon
-                epoch_kl += kl
-                batches += 1
-                step += 1
-                step_logs = {"step": step, "reconstruction_loss": recon, "kl_loss": kl}
+        base_seed = None
+        if n_workers > 1:
+            if self.private and not isinstance(self.sampler, PoissonSampler):
+                raise ValueError(
+                    "data-parallel private training supports Poisson sampling only "
+                    "(the accountant analyzes Poisson subsampling; see repro.engine)"
+                )
+            # Drawn before any checkpoint restore: the original run consumed
+            # this draw at the same stream position, so a resumed parallel run
+            # derives the same per-(step, shard) worker seeds.
+            base_seed = int(self.rng.integers(0, 2**63 - 1))
+        if resume_from is not None:
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, Checkpoint)
+                else load_checkpoint(resume_from)
+            )
+            restore_trainer_state(self, checkpoint)
+        start_epoch = self.epoch
+        self._executor = None
+        if n_workers > 1:
+            self._executor = DataParallelExecutor(
+                loss_fn,
+                self.optimizer.params,
+                n_workers,
+                private=self.private,
+                max_grad_norm=getattr(self.optimizer, "max_grad_norm", None),
+                model_rng=self.rng,
+                base_seed=base_seed,
+            )
+        try:
+            for epoch in range(start_epoch, epochs):
+                self.epoch = epoch
+                epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
+                for index in self.sampler.epoch_batches(n_samples, self.rng):
+                    if len(index) == 0:
+                        # A Poisson draw can be empty; there is no gradient to
+                        # release, so the step is skipped (strictly less is
+                        # released than the accountant budgeted for).
+                        continue
+                    recon, kl = self._train_step(index, loss_fn)
+                    epoch_recon += recon
+                    epoch_kl += kl
+                    batches += 1
+                    self.global_step += 1
+                    step_logs = {
+                        "step": self.global_step,
+                        "reconstruction_loss": recon,
+                        "kl_loss": kl,
+                    }
+                    for callback in self.callbacks:
+                        callback.on_step_end(self, self.model, self.global_step, step_logs)
+                if batches == 0:
+                    # Every Poisson draw of the epoch was empty: there are no
+                    # losses to report.  Log NaN rather than a fabricated 0.0
+                    # (which would read as a perfect epoch to history consumers
+                    # and EarlyStopping); callbacks still fire so per-epoch hooks
+                    # keep their one-call-per-epoch contract.
+                    epoch_recon = epoch_kl = float("nan")
+                    batches = 1
+                logs = {
+                    "epoch": epoch,
+                    "reconstruction_loss": epoch_recon / batches,
+                    "kl_loss": epoch_kl / batches,
+                    "elbo_loss": (epoch_recon + epoch_kl) / batches,
+                }
                 for callback in self.callbacks:
-                    callback.on_step_end(self, self.model, step, step_logs)
-            if batches == 0:
-                # Every Poisson draw of the epoch was empty: there are no
-                # losses to report.  Log NaN rather than a fabricated 0.0
-                # (which would read as a perfect epoch to history consumers
-                # and EarlyStopping); callbacks still fire so per-epoch hooks
-                # keep their one-call-per-epoch contract.
-                epoch_recon = epoch_kl = float("nan")
-                batches = 1
-            logs = {
-                "epoch": epoch,
-                "reconstruction_loss": epoch_recon / batches,
-                "kl_loss": epoch_kl / batches,
-                "elbo_loss": (epoch_recon + epoch_kl) / batches,
-            }
-            for callback in self.callbacks:
-                callback.on_epoch_end(self, self.model, epoch, logs)
-            if self.stop_training:
-                break
+                    callback.on_epoch_end(self, self.model, epoch, logs)
+                self.epoch = epoch + 1
+                if self.stop_training:
+                    break
+        finally:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
         for callback in self.callbacks:
             callback.on_train_end(self, self.model)
         return self
 
     def _train_step(self, index: np.ndarray, loss_fn) -> Tuple[float, float]:
         """One optimizer step; returns the batch-mean (reconstruction, kl)."""
+        if self._executor is not None:
+            return self._parallel_step(index)
         if self.private:
             with grad_sample_mode():
                 reconstruction, kl = loss_fn(index)
@@ -135,3 +210,17 @@ class Trainer:
             (reconstruction + kl).mean().backward()
             self.optimizer.step()
         return float(reconstruction.data.mean()), float(kl.data.mean())
+
+    def _parallel_step(self, index: np.ndarray) -> Tuple[float, float]:
+        """One sharded optimizer step through the fork pool."""
+        result = self._executor.run_step(index, self.global_step)
+        n = len(index)
+        if self.private:
+            # Workers clipped their own examples; one noise draw happens here,
+            # inside the optimizer, exactly as in the serial step.
+            self.optimizer.step_from_clipped(result.grad_sum, result.squared_norms)
+        else:
+            self.optimizer.apply_gradients(
+                unflatten(result.grad_sum / n, self.optimizer.params)
+            )
+        return result.recon_sum / n, result.kl_sum / n

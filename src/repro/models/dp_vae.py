@@ -118,6 +118,7 @@ class DPVAE(VAE):
                 MetricsCallback(delta=self.delta),
                 HistoryLogger(),
                 EpochHook(),
+                *self._engine_callbacks(),
             ],
             private=True,
             rng=self._rng,

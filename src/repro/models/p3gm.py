@@ -235,6 +235,7 @@ class P3GM(PGM):
                 MetricsCallback(delta=self.delta),
                 HistoryLogger(),
                 EpochHook(),
+                *self._engine_callbacks(),
             ],
             private=True,
             rng=self._rng,

@@ -25,7 +25,14 @@ from typing import Optional
 import numpy as np
 
 from repro.decomposition import PCA
-from repro.engine import EpochHook, HistoryLogger, MetricsCallback, Trainer, make_sampler
+from repro.engine import (
+    CheckpointableMixin,
+    EpochHook,
+    HistoryLogger,
+    MetricsCallback,
+    Trainer,
+    make_sampler,
+)
 from repro.mixture import GaussianMixture
 from repro.mixture.kl import kl_gaussian_to_mog
 from repro.models.base import (
@@ -44,7 +51,7 @@ from repro.utils.validation import check_array, check_n_samples, check_positive
 __all__ = ["PGM"]
 
 
-class PGM(GenerativeModel, LabelEncodingMixin):
+class PGM(GenerativeModel, LabelEncodingMixin, CheckpointableMixin):
     """Phased generative model (non-private).
 
     Parameters
@@ -250,6 +257,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
             len(data),
             self.epochs,
             lambda index: self._per_example_loss(data[index], projected[index]),
+            **self._engine_fit_kwargs(),
         )
 
     def _make_optimizer(self, data: np.ndarray):
@@ -260,7 +268,7 @@ class PGM(GenerativeModel, LabelEncodingMixin):
             self,
             optimizer,
             make_sampler(self.sampler, n_samples, self.batch_size),
-            callbacks=[HistoryLogger(), MetricsCallback(), EpochHook()],
+            callbacks=[HistoryLogger(), MetricsCallback(), EpochHook(), *self._engine_callbacks()],
             rng=self._rng,
         )
 

@@ -14,7 +14,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine import EpochHook, HistoryLogger, MetricsCallback, Trainer, make_sampler
+from repro.engine import (
+    CheckpointableMixin,
+    EpochHook,
+    HistoryLogger,
+    MetricsCallback,
+    Trainer,
+    make_sampler,
+)
 from repro.models.base import (
     GenerativeModel,
     LabelEncodingMixin,
@@ -31,7 +38,7 @@ from repro.utils.validation import check_array, check_n_samples, check_positive
 __all__ = ["VAE"]
 
 
-class VAE(GenerativeModel, LabelEncodingMixin):
+class VAE(GenerativeModel, LabelEncodingMixin, CheckpointableMixin):
     """Auto-Encoding Variational Bayes with an isotropic Gaussian prior.
 
     Parameters
@@ -153,7 +160,12 @@ class VAE(GenerativeModel, LabelEncodingMixin):
         n_samples = len(data)
         optimizer = self._make_optimizer(n_samples)
         trainer = self._make_trainer(optimizer, n_samples)
-        trainer.fit(n_samples, self.epochs, lambda index: self._per_example_loss(data[index]))
+        trainer.fit(
+            n_samples,
+            self.epochs,
+            lambda index: self._per_example_loss(data[index]),
+            **self._engine_fit_kwargs(),
+        )
         return self
 
     def _make_optimizer(self, n_samples: int):
@@ -164,7 +176,9 @@ class VAE(GenerativeModel, LabelEncodingMixin):
             self,
             optimizer,
             make_sampler(self.sampler, n_samples, self.batch_size),
-            callbacks=[HistoryLogger(), MetricsCallback(), EpochHook()],
+            # The checkpoint callback goes last so it snapshots every other
+            # callback's post-epoch state.
+            callbacks=[HistoryLogger(), MetricsCallback(), EpochHook(), *self._engine_callbacks()],
             rng=self._rng,
         )
 

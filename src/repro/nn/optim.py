@@ -30,9 +30,43 @@ class Optimizer:
 
     def apply_gradients(self, grads) -> None:
         """Apply externally computed gradients (used by DP-SGD)."""
+        grads = list(grads)
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"apply_gradients received {len(grads)} gradients for "
+                f"{len(self.params)} parameters; refusing a partial update"
+            )
         for p, g in zip(self.params, grads):
             p.grad = np.asarray(g, dtype=np.float64)
         self.step()
+
+    def state_dict(self) -> dict:
+        """The optimizer's mutable buffers as plain numpy arrays.
+
+        Stateless optimizers return ``{}``; subclasses with momentum-style
+        buffers override this (and :meth:`load_state_dict`) so a training
+        checkpoint can resume bit-identically.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> "Optimizer":
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the checkpoint "
+                f"carries optimizer entries: {sorted(state)}"
+            )
+        return self
+
+    def _check_buffer(self, key: str, value, param_index: int) -> np.ndarray:
+        """Validate one restored per-parameter buffer against the live shape."""
+        value = np.asarray(value, dtype=np.float64)
+        expected = self.params[param_index].data.shape
+        if value.shape != expected:
+            raise ValueError(
+                f"optimizer state {key!r} has shape {value.shape}, parameter "
+                f"{param_index} expects {expected}"
+            )
+        return value
 
 
 class SGD(Optimizer):
@@ -58,6 +92,22 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict) -> "SGD":
+        expected = {f"velocity.{i}" for i in range(len(self.params))}
+        if set(state) != expected:
+            raise ValueError(
+                f"SGD state mismatch: checkpoint has {sorted(state)}, "
+                f"this optimizer expects {sorted(expected)}"
+            )
+        self._velocity = [
+            self._check_buffer(f"velocity.{i}", state[f"velocity.{i}"], i)
+            for i in range(len(self.params))
+        ]
+        return self
 
 
 class Adam(Optimizer):
@@ -95,3 +145,29 @@ class Adam(Optimizer):
             m_hat = self._m[i] / (1 - self.beta1**self._t)
             v_hat = self._v[i] / (1 - self.beta2**self._t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = {"t": np.asarray(self._t)}
+        for i in range(len(self.params)):
+            state[f"m.{i}"] = self._m[i].copy()
+            state[f"v.{i}"] = self._v[i].copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> "Adam":
+        expected = {"t"}
+        for i in range(len(self.params)):
+            expected.add(f"m.{i}")
+            expected.add(f"v.{i}")
+        if set(state) != expected:
+            raise ValueError(
+                f"Adam state mismatch: checkpoint has {sorted(state)}, "
+                f"this optimizer expects {sorted(expected)}"
+            )
+        self._t = int(state["t"])
+        self._m = [
+            self._check_buffer(f"m.{i}", state[f"m.{i}"], i) for i in range(len(self.params))
+        ]
+        self._v = [
+            self._check_buffer(f"v.{i}", state[f"v.{i}"], i) for i in range(len(self.params))
+        ]
+        return self

@@ -20,7 +20,7 @@ import numpy as np
 from repro.nn.optim import Optimizer, SGD
 from repro.privacy.accounting.calibration import dp_sgd_epsilon
 from repro.privacy.clipping import per_example_scale_factors
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, dump_generator_state, restore_generator_state
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = ["DPSGD"]
@@ -121,12 +121,35 @@ class DPSGD:
             else:
                 squared_norms = squared_norms + contribution
 
+        scale = per_example_scale_factors(squared_norms, self.max_grad_norm)
+        flat = np.concatenate([p.clipped_grad_sum(scale).ravel() for p in self.params])
+        self._noise_and_apply(flat, squared_norms)
+
+    def step_from_clipped(self, clipped_flat_sum, squared_norms) -> None:
+        """One private step from *externally* clipped per-example gradients.
+
+        The data-parallel executor clips each example's full gradient inside
+        the worker that computed it (clipping is per-example, so sharding the
+        batch changes nothing about the released quantity), then hands this
+        method the summed clipped gradients flattened over all parameters plus
+        the per-example squared norms for diagnostics.  Noise is drawn *here*,
+        once, from the optimizer's own generator — exactly as in :meth:`step` —
+        so the privacy accounting is identical to the serial path.
+        """
+        clipped_flat_sum = np.asarray(clipped_flat_sum, dtype=np.float64)
+        expected_size = sum(p.size for p in self.params)
+        if clipped_flat_sum.shape != (expected_size,):
+            raise ValueError(
+                f"clipped gradient sum has shape {clipped_flat_sum.shape}, "
+                f"expected ({expected_size},) for {len(self.params)} parameters"
+            )
+        self._noise_and_apply(clipped_flat_sum, np.asarray(squared_norms, dtype=np.float64))
+
+    def _noise_and_apply(self, flat: np.ndarray, squared_norms: np.ndarray) -> None:
         norms = np.sqrt(squared_norms)
         self.last_grad_norm = float(norms.mean())
         self.last_clip_fraction = float(np.mean(norms > self.max_grad_norm))
-        scale = per_example_scale_factors(squared_norms, self.max_grad_norm)
-        flat = np.concatenate([p.clipped_grad_sum(scale).ravel() for p in self.params])
-        flat += self._rng.normal(
+        flat = flat + self._rng.normal(
             0.0, self.noise_multiplier * self.max_grad_norm, size=flat.shape
         )
         flat /= self.expected_batch_size
@@ -139,6 +162,41 @@ class DPSGD:
         self.base_optimizer.apply_gradients(private_grads)
         self.steps_taken += 1
         self.zero_grad()
+
+    # -- persistence ----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Mutable training state: step count, base-optimizer buffers, noise RNG.
+
+        The noise generator's bit-generator state rides along so a resumed run
+        draws the *same* noise vectors the uninterrupted run would have — the
+        checkpoint bit-identity contract depends on it.  Base-optimizer entries
+        are prefixed with ``base.`` to keep the archive flat and npz-safe.
+        """
+        state = {
+            "steps_taken": np.asarray(self.steps_taken),
+            "rng_state": np.asarray(dump_generator_state(self._rng)),
+        }
+        for key, value in self.base_optimizer.state_dict().items():
+            state[f"base.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict) -> "DPSGD":
+        for key in ("steps_taken", "rng_state"):
+            if key not in state:
+                raise ValueError(f"DPSGD state is missing required key {key!r}")
+        base_state = {
+            key[len("base."):]: value for key, value in state.items() if key.startswith("base.")
+        }
+        unknown = set(state) - {"steps_taken", "rng_state"} - {
+            f"base.{key}" for key in base_state
+        }
+        if unknown:
+            raise ValueError(f"DPSGD state carries unknown keys: {sorted(unknown)}")
+        self.base_optimizer.load_state_dict(base_state)
+        self.steps_taken = int(state["steps_taken"])
+        restore_generator_state(self._rng, str(state["rng_state"]))
+        return self
 
     # -- accounting -----------------------------------------------------------------
 

@@ -41,7 +41,9 @@ __all__ = [
     "load_transformer",
     "manifest_privacy",
     "read_manifest",
+    "read_state_archive",
     "save_artifact",
+    "write_state_archive",
 ]
 
 ARTIFACT_FORMAT_VERSION = 2
@@ -53,6 +55,46 @@ TRANSFORMER_FILENAME = "transformer.npz"
 
 class ArtifactError(RuntimeError):
     """A model artifact is missing, malformed, or incompatible."""
+
+
+def write_state_archive(path, manifest: dict, state: dict, npz_name: str = WEIGHTS_FILENAME) -> Path:
+    """Write the shared on-disk layout: ``manifest.json`` + one state ``.npz``.
+
+    Both release artifacts and training checkpoints persist through this
+    helper, so they share the same safety property: ``state`` must be plain
+    numpy arrays (object arrays would require pickling and are refused by
+    ``np.savez``'s consumers here — loading always uses ``allow_pickle=False``).
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    np.savez(path / npz_name, **state)
+    return path
+
+
+def read_state_archive(path, npz_name: str = WEIGHTS_FILENAME) -> tuple:
+    """Read a ``(manifest, state)`` pair written by :func:`write_state_archive`.
+
+    Performs only the structural half of validation (files exist, JSON parses,
+    arrays load without pickling); semantic checks belong to the caller.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not a state archive: missing {MANIFEST_FILENAME}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"{manifest_path} is not valid JSON: {error}") from error
+    npz_path = path / npz_name
+    if not npz_path.is_file():
+        raise ArtifactError(f"{path} is not a state archive: missing {npz_name}")
+    try:
+        with np.load(npz_path, allow_pickle=False) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as error:
+        raise ArtifactError(f"{npz_path} is corrupt or unreadable: {error}") from error
+    return manifest, state
 
 
 def _encode_float(value: float):
@@ -121,9 +163,7 @@ def save_artifact(
         "state_entries": len(state),
         "metadata": metadata or {},
     }
-    path.mkdir(parents=True, exist_ok=True)
-    (path / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
-    np.savez(path / WEIGHTS_FILENAME, **state)
+    write_state_archive(path, manifest, state)
     if transformer is not None:
         np.savez(path / TRANSFORMER_FILENAME, **transformer.state_dict())
     return path
@@ -185,9 +225,6 @@ def load_artifact(path, expected_class=None):
     except KeyError as error:
         raise ArtifactError(str(error)) from error
 
-    weights_path = path / WEIGHTS_FILENAME
-    if not weights_path.is_file():
-        raise ArtifactError(f"{path} is not a model artifact: missing {WEIGHTS_FILENAME}")
     try:
         model = cls(**manifest["hyperparameters"])
     except (TypeError, ValueError) as error:
@@ -195,8 +232,7 @@ def load_artifact(path, expected_class=None):
             f"artifact {path} carries hyperparameters {class_name} does not accept "
             f"(manifest written by a different build?): {error}"
         ) from error
-    with np.load(weights_path, allow_pickle=False) as archive:
-        state = {key: archive[key] for key in archive.files}
+    _, state = read_state_archive(path)
     try:
         model.load_state_dict(state)
     except (KeyError, ValueError) as error:

@@ -110,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epsilon", type=float, default=None)
     train.add_argument("--delta", type=float, default=None)
     train.add_argument("--noise-multiplier", type=float, default=None)
+    train.add_argument("--checkpoint-every", type=int, default=None,
+                       help="write a training checkpoint every N epochs")
+    train.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="checkpoint directory (default: <output>/checkpoints)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from the newest checkpoint in the checkpoint "
+                            "directory (bit-identical to an uninterrupted run)")
+    train.add_argument("--workers", type=int, default=None,
+                       help="fork-pool size for data-parallel training steps "
+                            "(default: serial)")
 
     sample = subparsers.add_parser("sample", help="stream synthetic rows from an artifact")
     sample.add_argument("--artifact", required=True, type=Path)
@@ -309,6 +319,35 @@ def _load_dataset_training_table(args: argparse.Namespace):
     return X, labels, transformer, metadata, data.name
 
 
+def _configure_training_engine(args: argparse.Namespace, model) -> None:
+    """Wire the checkpoint/resume and data-parallel flags into the model."""
+    from repro.engine import CheckpointableMixin, latest_checkpoint
+
+    wants_checkpoints = (
+        args.checkpoint_every is not None or args.checkpoint_dir is not None or args.resume
+    )
+    wants_workers = args.workers is not None and args.workers > 1
+    if (wants_checkpoints or wants_workers) and not isinstance(model, CheckpointableMixin):
+        feature = "checkpointing" if wants_checkpoints else "data-parallel training"
+        raise ValueError(
+            f"model {args.model!r} does not train through the engine and "
+            f"does not support {feature}"
+        )
+    if wants_checkpoints:
+        directory = args.checkpoint_dir or args.output / "checkpoints"
+        model.configure_checkpointing(
+            directory, every=args.checkpoint_every or 1, resume=args.resume
+        )
+        if args.resume:
+            found = latest_checkpoint(directory)
+            if found is None:
+                print(f"no checkpoint under {directory}; starting fresh")
+            else:
+                print(f"resuming from {found}")
+    if wants_workers:
+        model.configure_data_parallel(args.workers)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     spec = get_model_spec(args.model)
     if args.data is not None:
@@ -317,6 +356,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         X, labels, transformer, metadata, source = _load_dataset_training_table(args)
     kwargs = _model_kwargs(args, spec.cls)
     model = spec.cls(random_state=args.seed, **kwargs)
+    _configure_training_engine(args, model)
     encoded = "" if transformer is None else f", {X.shape[1]} encoded columns"
     print(f"training {spec.cls.__name__} on {source} ({len(X)} rows{encoded})...")
     model.fit(X, labels)

@@ -37,6 +37,41 @@ class TestHistoryLogger:
         assert len(history) == 1
         assert len(model.history) == 0
 
+    def test_state_dict_round_trips_records_exactly(self):
+        model = FakeModel()
+        logger = HistoryLogger()
+        trainer = FakeTrainer()
+        records = [
+            {"epoch": 0, "elbo_loss": 1.5, "epsilon": 0.25},
+            {"epoch": 1, "elbo_loss": float("nan")},
+        ]
+        for epoch, record in enumerate(records):
+            logger.on_epoch_end(trainer, model, epoch, record)
+        state = logger.state_dict(trainer, model)
+
+        fresh_model = FakeModel()
+        HistoryLogger().load_state_dict(trainer, fresh_model, state)
+        restored = fresh_model.history.records
+        assert restored[0] == records[0]
+        assert restored[1]["epoch"] == 1
+        assert np.isnan(restored[1]["elbo_loss"])
+
+    def test_load_state_dict_rejects_wrong_keys(self):
+        with pytest.raises(ValueError, match="records"):
+            HistoryLogger().load_state_dict(FakeTrainer(), FakeModel(), {"other": np.asarray(1)})
+
+
+class TestStatelessCallbackState:
+    def test_base_state_dict_is_empty(self):
+        assert EpochHook().state_dict(FakeTrainer(), FakeModel()) == {}
+
+    def test_stateless_callback_rejects_nonempty_state(self):
+        with pytest.raises(ValueError, match="stateless"):
+            EpochHook().load_state_dict(FakeTrainer(), FakeModel(), {"x": np.asarray(1)})
+
+    def test_stateless_callback_accepts_empty_state(self):
+        EpochHook().load_state_dict(FakeTrainer(), FakeModel(), {})
+
 
 class TestPrivacyBudgetTracker:
     def test_adds_epsilon_to_logs_before_history(self):
@@ -104,6 +139,87 @@ class TestEarlyStopping:
             EarlyStopping(patience=0)
         with pytest.raises(ValueError):
             EarlyStopping(min_delta=-0.1)
+
+    def test_nan_epoch_never_becomes_best(self):
+        # Regression: a NaN loss (all-empty Poisson epoch) used to become
+        # `best`, after which every finite epoch compared false against it and
+        # training stopped at `patience` no matter how the loss trended.
+        stopper = EarlyStopping(patience=2)
+        trainer = FakeTrainer()
+        for epoch, loss in enumerate([10.0, float("nan"), 9.0, 8.0]):
+            stopper.on_epoch_end(trainer, FakeModel(), epoch, {"elbo_loss": loss})
+        assert not trainer.stop_training
+        assert stopper.best == 8.0
+
+    def test_nan_epochs_do_not_count_toward_patience(self):
+        stopper = EarlyStopping(patience=2)
+        trainer = FakeTrainer()
+        losses = [10.0, float("nan"), float("nan"), float("nan"), 9.0]
+        for epoch, loss in enumerate(losses):
+            stopper.on_epoch_end(trainer, FakeModel(), epoch, {"elbo_loss": loss})
+        assert not trainer.stop_training
+        assert stopper.wait == 0
+
+    def test_infinite_loss_is_skipped_like_nan(self):
+        stopper = EarlyStopping(patience=1)
+        trainer = FakeTrainer()
+        stopper.on_epoch_end(trainer, FakeModel(), 0, {"elbo_loss": float("-inf")})
+        assert stopper.best is None
+        assert not trainer.stop_training
+
+    def test_state_resets_between_fits(self):
+        # Regression: one instance driving two fits kept best/wait from the
+        # first run, so the second fit compared against the stale loss scale
+        # and could stop immediately.
+        stopper = EarlyStopping(patience=2)
+        trainer = FakeTrainer()
+        model = FakeModel()
+        stopper.on_train_begin(trainer, model)
+        for epoch, loss in enumerate([1.0, 2.0, 3.0]):
+            stopper.on_epoch_end(trainer, model, epoch, {"elbo_loss": loss})
+        assert trainer.stop_training
+        assert stopper.stopped_epoch == 2
+
+        second = FakeTrainer()
+        stopper.on_train_begin(second, model)
+        assert stopper.best is None
+        assert stopper.wait == 0
+        assert stopper.stopped_epoch is None
+        # Losses far above the first run's best must still register as
+        # improvements in the new run.
+        for epoch, loss in enumerate([100.0, 90.0, 80.0]):
+            stopper.on_epoch_end(second, model, epoch, {"elbo_loss": loss})
+        assert not second.stop_training
+        assert stopper.best == 80.0
+
+    def test_state_dict_round_trip(self):
+        stopper = EarlyStopping(patience=3)
+        trainer = FakeTrainer()
+        model = FakeModel()
+        for epoch, loss in enumerate([10.0, 9.0, 9.5]):
+            stopper.on_epoch_end(trainer, model, epoch, {"elbo_loss": loss})
+        state = stopper.state_dict(trainer, model)
+
+        fresh = EarlyStopping(patience=3)
+        fresh.load_state_dict(trainer, model, state)
+        assert fresh.best == 9.0
+        assert fresh.wait == 1
+        assert fresh.stopped_epoch is None
+
+    def test_state_dict_round_trip_before_any_finite_epoch(self):
+        stopper = EarlyStopping(patience=3)
+        trainer = FakeTrainer()
+        model = FakeModel()
+        state = stopper.state_dict(trainer, model)
+        fresh = EarlyStopping(patience=3)
+        fresh.load_state_dict(trainer, model, state)
+        assert fresh.best is None
+        assert fresh.wait == 0
+
+    def test_load_state_dict_rejects_wrong_keys(self):
+        stopper = EarlyStopping()
+        with pytest.raises(ValueError, match="EarlyStopping state mismatch"):
+            stopper.load_state_dict(FakeTrainer(), FakeModel(), {"velocity.0": np.zeros(2)})
 
 
 class TestEpochHook:

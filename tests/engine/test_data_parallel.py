@@ -1,0 +1,185 @@
+"""Tests for process-pool data-parallel training steps.
+
+The whole module is skipped where the ``fork`` start method is unavailable
+(the executor's closure-inheritance design requires it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import DataParallelExecutor, fork_available
+from repro.engine.data_parallel import unflatten
+from repro.models import DPVAE, VAE
+from repro.nn import MLP, Tensor
+from repro.nn import functional as F
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="data-parallel training requires the fork start method"
+)
+
+
+def make_quadratic_setup(seed=0, n=64, d=4):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    model = MLP(d, (6,), 1, rng=seed)
+    params = list(model.parameters())
+
+    def loss_fn(index):
+        out = model(Tensor(X[index]))
+        per_example = (out**2).sum(axis=1)
+        zero = per_example * 0.0
+        return per_example, zero
+
+    return model, params, loss_fn, X
+
+
+def serial_flat_grad(params, loss_fn, index):
+    for p in params:
+        p.zero_grad()
+    reconstruction, kl = loss_fn(index)
+    (reconstruction + kl).sum().backward()
+    flat = np.concatenate([np.asarray(p.grad).ravel() for p in params])
+    for p in params:
+        p.zero_grad()
+    return flat
+
+
+class TestExecutorMechanics:
+    def test_requires_at_least_two_workers(self):
+        _, params, loss_fn, _ = make_quadratic_setup()
+        with pytest.raises(ValueError, match="n_workers"):
+            DataParallelExecutor(loss_fn, params, n_workers=1)
+
+    def test_private_requires_clipping_bound(self):
+        _, params, loss_fn, _ = make_quadratic_setup()
+        with pytest.raises(ValueError, match="max_grad_norm"):
+            DataParallelExecutor(loss_fn, params, n_workers=2, private=True)
+
+    def test_empty_batch_raises(self):
+        _, params, loss_fn, _ = make_quadratic_setup()
+        with DataParallelExecutor(loss_fn, params, n_workers=2) as executor:
+            with pytest.raises(ValueError, match="empty batch"):
+                executor.run_step(np.array([], dtype=int), step=0)
+
+    def test_unflatten_round_trips_and_validates(self):
+        _, params, _, _ = make_quadratic_setup()
+        sizes = sum(p.size for p in params)
+        flat = np.arange(sizes, dtype=float)
+        grads = unflatten(flat, params)
+        assert [g.shape for g in grads] == [p.data.shape for p in params]
+        np.testing.assert_array_equal(np.concatenate([g.ravel() for g in grads]), flat)
+        with pytest.raises(ValueError, match="flat gradient"):
+            unflatten(np.zeros(sizes + 1), params)
+
+    def test_pooled_gradient_matches_serial_on_deterministic_loss(self):
+        # The toy loss draws no noise, so sharding changes only the float
+        # summation order — the pooled gradient must match serial to rounding.
+        _, params, loss_fn, X = make_quadratic_setup()
+        index = np.arange(len(X))
+        expected = serial_flat_grad(params, loss_fn, index)
+        with DataParallelExecutor(loss_fn, params, n_workers=2) as executor:
+            result = executor.run_step(index, step=0)
+        np.testing.assert_allclose(result.grad_sum, expected, rtol=1e-10)
+        assert result.squared_norms is None
+
+    def test_shards_never_exceed_batch(self):
+        _, params, loss_fn, _ = make_quadratic_setup()
+        with DataParallelExecutor(loss_fn, params, n_workers=4) as executor:
+            result = executor.run_step(np.array([0, 1]), step=0)  # 2 rows, 4 workers
+        assert result.grad_sum.shape == (sum(p.size for p in params),)
+
+    def test_run_step_is_deterministic_for_fixed_seed(self):
+        _, params, loss_fn, X = make_quadratic_setup()
+        index = np.arange(32)
+        with DataParallelExecutor(loss_fn, params, n_workers=2, base_seed=5) as executor:
+            first = executor.run_step(index, step=3)
+            second = executor.run_step(index, step=3)
+        assert first.grad_sum.tobytes() == second.grad_sum.tobytes()
+
+    def test_private_step_returns_all_squared_norms(self):
+        _, params, loss_fn, X = make_quadratic_setup()
+        index = np.arange(48)
+        with DataParallelExecutor(
+            loss_fn, params, n_workers=3, private=True, max_grad_norm=1.0
+        ) as executor:
+            result = executor.run_step(index, step=0)
+        assert result.squared_norms.shape == (48,)
+        assert np.all(result.squared_norms >= 0)
+
+
+def tiny_vae(n_workers=None, seed=0, epochs=3):
+    model = VAE(latent_dim=3, hidden=(12,), epochs=epochs, batch_size=100, random_state=seed)
+    if n_workers:
+        model.configure_data_parallel(n_workers)
+    return model
+
+
+def tiny_dpvae(n_workers=None, seed=0, epochs=3):
+    model = DPVAE(
+        latent_dim=3,
+        hidden=(12,),
+        epochs=epochs,
+        batch_size=100,
+        noise_multiplier=1.5,
+        epsilon=5.0,
+        sampler="poisson",
+        random_state=seed,
+    )
+    if n_workers:
+        model.configure_data_parallel(n_workers)
+    return model
+
+
+class TestParallelTraining:
+    def test_nonprivate_parallel_run_is_deterministic(self, toy_unlabeled_data):
+        a = tiny_vae(n_workers=2).fit(toy_unlabeled_data)
+        b = tiny_vae(n_workers=2).fit(toy_unlabeled_data)
+        for key, value in a.state_dict().items():
+            assert np.asarray(b.state_dict()[key]).tobytes() == np.asarray(value).tobytes()
+        assert a.history.records == b.history.records
+
+    def test_nonprivate_parallel_loss_tracks_serial(self, toy_unlabeled_data):
+        serial = tiny_vae().fit(toy_unlabeled_data)
+        parallel = tiny_vae(n_workers=2).fit(toy_unlabeled_data)
+        # Different noise stream, same optimisation problem: final epoch
+        # losses agree loosely.
+        s = serial.history.records[-1]["elbo_loss"]
+        p = parallel.history.records[-1]["elbo_loss"]
+        assert abs(s - p) / abs(s) < 0.25
+
+    def test_private_parallel_accounting_matches_serial_exactly(self, toy_unlabeled_data):
+        serial = tiny_dpvae().fit(toy_unlabeled_data)
+        parallel = tiny_dpvae(n_workers=2).fit(toy_unlabeled_data)
+        assert parallel.privacy_spent() == serial.privacy_spent()
+        assert parallel._dp_optimizer.steps_taken == serial._dp_optimizer.steps_taken
+
+    def test_private_parallel_requires_poisson_sampler(self, toy_unlabeled_data):
+        model = tiny_dpvae(n_workers=2)
+        model.sampler = "shuffle"
+        with pytest.raises(ValueError, match="[Pp]oisson"):
+            model.fit(toy_unlabeled_data)
+
+    def test_parallel_resume_matches_uninterrupted_parallel(
+        self, tmp_path, toy_unlabeled_data
+    ):
+        full = tiny_vae(n_workers=2, epochs=4).fit(toy_unlabeled_data)
+
+        interrupted = tiny_vae(n_workers=2, epochs=4)
+        interrupted.configure_checkpointing(tmp_path, every=1)
+
+        def abort(model, epoch):
+            if epoch == 1:
+                raise KeyboardInterrupt
+
+        interrupted.epoch_callback = abort
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.fit(toy_unlabeled_data)
+
+        resumed = tiny_vae(n_workers=2, epochs=4)
+        resumed.configure_checkpointing(tmp_path, every=1, resume=True)
+        resumed.fit(toy_unlabeled_data)
+
+        expected = full.state_dict()
+        for key, value in resumed.state_dict().items():
+            assert np.asarray(value).tobytes() == np.asarray(expected[key]).tobytes(), key
+        assert resumed.history.records == full.history.records

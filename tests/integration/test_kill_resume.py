@@ -1,0 +1,135 @@
+"""Kill/resume integration: SIGKILL a CLI training run, resume, compare bits.
+
+This is the paper-repro equivalent of pulling the plug on a long DP-SGD run:
+the resumed run must release the *same* artifact (weights bit-for-bit, same
+manifest modulo timestamp) and the same privacy guarantee as an uninterrupted
+run — anything else would mean an interrupted experiment is unreproducible.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# Sized so one epoch takes long enough (~0.2 s) to SIGKILL mid-run reliably,
+# while the whole three-run test stays around ten seconds.
+TRAIN_ARGS = [
+    "--model", "dp-vae",
+    "--dataset", "credit",
+    "--rows", "4000",
+    "--epochs", "10",
+    "--batch-size", "200",
+    "--latent-dim", "4",
+    "--hidden", "256",
+    "--noise-multiplier", "2.0",
+    "--seed", "0",
+]
+
+
+def cli(*args):
+    return [sys.executable, "-m", "repro", "train", *TRAIN_ARGS, *args]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return env
+
+
+def read_artifact(output: Path):
+    manifest = json.loads((output / "manifest.json").read_text())
+    with np.load(output / "weights.npz", allow_pickle=False) as archive:
+        weights = {key: archive[key].copy() for key in archive.files}
+    return manifest, weights
+
+
+def test_sigkilled_run_resumes_to_a_bit_identical_artifact(tmp_path):
+    reference_dir = tmp_path / "reference"
+    resumed_dir = tmp_path / "resumed"
+
+    # 1. Uninterrupted reference run (checkpointing on: it must not perturb
+    #    the training stream).
+    subprocess.run(
+        cli("--output", str(reference_dir), "--checkpoint-every", "1"),
+        env=cli_env(), check=True, timeout=120, capture_output=True,
+    )
+
+    # 2. Same run, SIGKILLed once the epoch-2 checkpoint lands.  os.replace
+    #    makes checkpoint directories appear atomically, so existence means
+    #    the checkpoint is complete.
+    marker = resumed_dir / "checkpoints" / "epoch-000002"
+    process = subprocess.Popen(
+        cli("--output", str(resumed_dir), "--checkpoint-every", "1"),
+        env=cli_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not marker.is_dir():
+            if process.poll() is not None:
+                pytest.fail("training finished before the kill window opened")
+            if time.monotonic() > deadline:
+                pytest.fail("epoch-000002 checkpoint never appeared")
+            time.sleep(0.01)
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    assert not (resumed_dir / "weights.npz").exists(), "killed run must not release an artifact"
+
+    # 3. Resume and finish.
+    resumed = subprocess.run(
+        cli("--output", str(resumed_dir), "--checkpoint-every", "1", "--resume"),
+        env=cli_env(), check=True, timeout=120, capture_output=True, text=True,
+    )
+    assert "resuming from" in resumed.stdout + resumed.stderr
+
+    ref_manifest, ref_weights = read_artifact(reference_dir)
+    res_manifest, res_weights = read_artifact(resumed_dir)
+    assert set(res_weights) == set(ref_weights)
+    for key, value in ref_weights.items():
+        assert res_weights[key].tobytes() == value.tobytes(), (
+            f"artifact entry {key!r} diverged across kill/resume"
+        )
+    ref_manifest.pop("created_at")
+    res_manifest.pop("created_at")
+    assert res_manifest == ref_manifest
+
+
+def test_resume_without_checkpoints_starts_fresh(tmp_path):
+    output = tmp_path / "fresh"
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "train",
+            "--model", "vae", "--dataset", "credit", "--rows", "400",
+            "--epochs", "1", "--batch-size", "100", "--latent-dim", "3",
+            "--hidden", "16", "--seed", "0",
+            "--output", str(output), "--checkpoint-every", "1", "--resume",
+        ],
+        env=cli_env(), timeout=120, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "starting fresh" in result.stdout + result.stderr
+    assert (output / "weights.npz").exists()
+    assert (output / "checkpoints" / "epoch-000001").is_dir()
+
+
+def test_checkpoint_flags_rejected_for_non_trainer_models(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "train",
+            "--model", "privbayes", "--dataset", "credit", "--rows", "400",
+            "--output", str(tmp_path / "out"), "--checkpoint-every", "1",
+        ],
+        env=cli_env(), timeout=120, capture_output=True, text=True,
+    )
+    assert result.returncode == 2
+    assert "checkpoint" in result.stderr.lower()

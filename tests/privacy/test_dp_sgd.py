@@ -123,6 +123,117 @@ class TestDPSGDMechanics:
             DPSGD(model.parameters(), 1.0, -1.0, 8)
 
 
+class TestDPSGDState:
+    def make_optimizer(self, params, rng=0):
+        from repro.nn import Adam
+
+        return DPSGD(
+            params,
+            noise_multiplier=1.2,
+            max_grad_norm=1.0,
+            expected_batch_size=64,
+            sample_rate=0.25,
+            base_optimizer=Adam(params, lr=0.01),
+            rng=rng,
+        )
+
+    def run_steps(self, model, opt, X, y, n):
+        for _ in range(n):
+            with grad_sample_mode():
+                F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+            opt.step()
+
+    def test_state_round_trip_resumes_bit_identically(self):
+        model, X, y = make_model_and_data()
+        opt = self.make_optimizer(list(model.parameters()))
+        self.run_steps(model, opt, X, y, 3)
+        state = opt.state_dict()
+        snapshot = [p.data.copy() for p in opt.params]
+
+        # Fresh process stand-in: same architecture and seed, restored state.
+        model2, _, _ = make_model_and_data()
+        opt2 = self.make_optimizer(list(model2.parameters()), rng=99)
+        for p, value in zip(opt2.params, snapshot):
+            p.data = value.copy()
+        opt2.load_state_dict(state)
+        assert opt2.steps_taken == 3
+
+        self.run_steps(model, opt, X, y, 2)
+        self.run_steps(model2, opt2, X, y, 2)
+        for a, b in zip(opt.params, opt2.params):
+            assert a.data.tobytes() == b.data.tobytes()
+        assert opt.privacy_spent(1e-5) == opt2.privacy_spent(1e-5)
+
+    def test_rng_state_pins_the_noise_stream(self):
+        model, X, y = make_model_and_data()
+        opt = self.make_optimizer(list(model.parameters()))
+        self.run_steps(model, opt, X, y, 2)
+        state = opt.state_dict()
+        noise_a = opt._rng.normal(size=5)
+
+        model2, _, _ = make_model_and_data()
+        opt2 = self.make_optimizer(list(model2.parameters()), rng=7)
+        opt2.load_state_dict(state)
+        noise_b = opt2._rng.normal(size=5)
+        np.testing.assert_array_equal(noise_a, noise_b)
+
+    def test_load_rejects_missing_required_key(self):
+        model, _, _ = make_model_and_data()
+        opt = self.make_optimizer(list(model.parameters()))
+        state = opt.state_dict()
+        del state["rng_state"]
+        with pytest.raises(ValueError, match="rng_state"):
+            opt.load_state_dict(state)
+
+    def test_load_rejects_unknown_keys(self):
+        model, _, _ = make_model_and_data()
+        opt = self.make_optimizer(list(model.parameters()))
+        state = opt.state_dict()
+        state["mystery"] = np.asarray(1.0)
+        with pytest.raises(ValueError, match="unknown keys"):
+            opt.load_state_dict(state)
+
+    def test_base_optimizer_state_rides_along(self):
+        model, X, y = make_model_and_data()
+        opt = self.make_optimizer(list(model.parameters()))
+        self.run_steps(model, opt, X, y, 2)
+        state = opt.state_dict()
+        assert int(state["base.t"]) == 2
+        assert any(key.startswith("base.m.") for key in state)
+
+    def test_step_from_clipped_matches_serial_step_with_same_inputs(self):
+        """Pre-clipped sums through step_from_clipped == the in-process step."""
+        from repro.privacy.clipping import per_example_scale_factors
+
+        model, X, y = make_model_and_data()
+        params = list(model.parameters())
+        opt = self.make_optimizer(params)
+        with grad_sample_mode():
+            F.mse_loss(model(Tensor(X)), y, reduction="sum").backward()
+        squared = sum(p.grad_sample_sq_norms() for p in params)
+        scale = per_example_scale_factors(squared, opt.max_grad_norm)
+        flat = np.concatenate([p.clipped_grad_sum(scale).ravel() for p in params])
+
+        model2, _, _ = make_model_and_data()
+        opt2 = self.make_optimizer(list(model2.parameters()))
+        with grad_sample_mode():
+            F.mse_loss(model2(Tensor(X)), y, reduction="sum").backward()
+        opt2.step()
+
+        opt.step_from_clipped(flat, squared)
+        for a, b in zip(opt.params, opt2.params):
+            assert a.data.tobytes() == b.data.tobytes()
+        assert opt.steps_taken == opt2.steps_taken == 1
+        assert opt.last_grad_norm == opt2.last_grad_norm
+        assert opt.last_clip_fraction == opt2.last_clip_fraction
+
+    def test_step_from_clipped_validates_flat_shape(self):
+        model, _, _ = make_model_and_data()
+        opt = self.make_optimizer(list(model.parameters()))
+        with pytest.raises(ValueError, match="clipped gradient sum"):
+            opt.step_from_clipped(np.zeros(3), np.ones(8))
+
+
 class TestDPSGDLearning:
     def test_dp_sgd_still_learns_with_moderate_noise(self):
         """DP-SGD with moderate noise should still reduce the loss on easy data."""
